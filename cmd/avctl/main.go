@@ -1,0 +1,53 @@
+// Command avctl is the client CLI for avnode's text protocol.
+//
+//	avctl -addr localhost:7201 update product-0000 -50
+//	avctl -addr localhost:7201 read product-0000
+//	avctl -addr localhost:7201 av product-0000
+//	avctl -addr localhost:7201 sync
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7200", "avnode client address")
+	timeout := flag.Duration("timeout", 5*time.Second, "dial/IO timeout")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: avctl [-addr host:port] <update|read|av|sync> [args...]")
+		os.Exit(2)
+	}
+	cmd := strings.ToUpper(flag.Arg(0))
+	line := strings.Join(append([]string{cmd}, flag.Args()[1:]...), " ")
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avctl:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl:", err)
+		os.Exit(1)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		fmt.Fprintln(os.Stderr, "avctl: no reply")
+		os.Exit(1)
+	}
+	reply := sc.Text()
+	fmt.Println(reply)
+	if strings.HasPrefix(reply, "ERR") {
+		os.Exit(1)
+	}
+}

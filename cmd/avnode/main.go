@@ -1,0 +1,218 @@
+// Command avnode runs one avdb site as its own process, speaking the
+// inter-site protocol over TCP and serving clients on a simple text
+// protocol. A three-node cluster on one machine:
+//
+//	avnode -id 0 -listen :7100 -peers 1=localhost:7101,2=localhost:7102 -client :7200 &
+//	avnode -id 1 -listen :7101 -peers 0=localhost:7100,2=localhost:7102 -client :7201 &
+//	avnode -id 2 -listen :7102 -peers 0=localhost:7100,1=localhost:7101 -client :7202 &
+//	avctl -addr localhost:7201 update product-0000 -50
+//
+// Every node must be started with identical -seed-* flags so the seeded
+// catalogs agree (the paper assumes initial delivery from the base DB).
+//
+// Client protocol (one command per line):
+//
+//	UPDATE <key> <delta>   -> OK <path> | ERR <reason>
+//	READ <key>             -> OK <value> | ERR <reason>
+//	AV <key>               -> OK <avail>
+//	SYNC                   -> OK
+//	QUIT                   -> closes the connection
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"avdb/internal/site"
+	"avdb/internal/storage"
+	"avdb/internal/transport/tcpnet"
+	"avdb/internal/wire"
+)
+
+func main() {
+	var (
+		id       = flag.Uint("id", 0, "this site's ID")
+		base     = flag.Uint("base", 0, "site hosting the base DB (primary copy)")
+		listen   = flag.String("listen", ":7100", "inter-site listen address")
+		peerSpec = flag.String("peers", "", "comma-separated id=host:port peer list")
+		client   = flag.String("client", ":7200", "client (text protocol) listen address")
+		dir      = flag.String("dir", "", "storage directory (empty = in-memory)")
+		persist  = flag.Bool("persist-av", false, "journal the AV table under -dir so it survives restarts")
+		items    = flag.Int("seed-items", 10, "products to seed")
+		initial  = flag.Int64("seed-initial", 1000, "initial stock per product")
+		avShare  = flag.Int64("seed-av", 0, "this site's initial AV per product (0 = initial/num-sites)")
+		nonReg   = flag.Float64("seed-nonregular", 0, "fraction of products without AV")
+		flushMS  = flag.Int("flush-ms", 500, "anti-entropy interval in milliseconds")
+	)
+	flag.Parse()
+
+	peers, addrs, err := parsePeers(*peerSpec)
+	if err != nil {
+		log.Fatalf("avnode: %v", err)
+	}
+
+	network := &tcpnet.Network{Cfg: tcpnet.Config{
+		ID:     wire.SiteID(*id),
+		Listen: *listen,
+		Peers:  addrs,
+	}}
+	s, err := site.Open(site.Config{
+		ID:            wire.SiteID(*id),
+		Base:          wire.SiteID(*base),
+		Peers:         peers,
+		StorageDir:    *dir,
+		PersistAV:     *persist,
+		FlushInterval: time.Duration(*flushMS) * time.Millisecond,
+		SweepInterval: 2 * time.Second,
+	}, network)
+	if err != nil {
+		log.Fatalf("avnode: open site: %v", err)
+	}
+	defer s.Close()
+
+	if err := seed(s, *items, *initial, *avShare, *nonReg, len(peers)+1); err != nil {
+		log.Fatalf("avnode: seed: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *client)
+	if err != nil {
+		log.Fatalf("avnode: client listener: %v", err)
+	}
+	log.Printf("avnode: site %d up — inter-site %s, clients %s, %d products seeded",
+		*id, *listen, ln.Addr(), *items)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveClient(s, conn)
+	}
+}
+
+// parsePeers turns "1=h:p,2=h:p" into the peer list and address map.
+func parsePeers(spec string) ([]wire.SiteID, map[wire.SiteID]string, error) {
+	addrs := make(map[wire.SiteID]string)
+	var peers []wire.SiteID
+	if spec == "" {
+		return peers, addrs, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		peers = append(peers, wire.SiteID(pid))
+		addrs[wire.SiteID(pid)] = kv[1]
+	}
+	return peers, addrs, nil
+}
+
+// seed loads the shared catalog; identical flags on every node yield
+// identical catalogs (the paper's initial delivery from the base DB).
+func seed(s *site.Site, items int, initial, avShare int64, nonRegular float64, sites int) error {
+	nonRegCount := int(nonRegular*float64(items) + 0.5)
+	if avShare == 0 && sites > 0 {
+		avShare = initial / int64(sites)
+	}
+	for i := 0; i < items; i++ {
+		rec := storage.Record{
+			Key:    fmt.Sprintf("product-%04d", i),
+			Name:   fmt.Sprintf("Product %d", i),
+			Amount: initial,
+			Class:  storage.Regular,
+		}
+		if i < nonRegCount {
+			rec.Class = storage.NonRegular
+		}
+		// On a durable restart the row (and with -persist-av the AV
+		// journal) already exists; re-seeding would reset stock and mint
+		// AV, so seed only what is genuinely missing.
+		if _, err := s.Read(rec.Key); err != nil {
+			if err := s.Seed(rec); err != nil {
+				return err
+			}
+		}
+		if rec.Class == storage.Regular && !s.AV().Defined(rec.Key) {
+			if err := s.DefineAV(rec.Key, avShare); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// serveClient speaks the line protocol on one client connection.
+func serveClient(s *site.Site, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	reply := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+		w.Flush()
+	}
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		switch strings.ToUpper(fields[0]) {
+		case "UPDATE":
+			if len(fields) != 3 {
+				reply("ERR usage: UPDATE <key> <delta>")
+				break
+			}
+			delta, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				reply("ERR bad delta: %v", err)
+				break
+			}
+			res, err := s.Update(ctx, fields[1], delta)
+			if err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("OK %s", res.Path)
+		case "READ":
+			if len(fields) != 2 {
+				reply("ERR usage: READ <key>")
+				break
+			}
+			v, err := s.Read(fields[1])
+			if err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("OK %d", v)
+		case "AV":
+			if len(fields) != 2 {
+				reply("ERR usage: AV <key>")
+				break
+			}
+			reply("OK %d", s.AV().Avail(fields[1]))
+		case "SYNC":
+			if err := s.Flush(ctx); err != nil {
+				reply("ERR %v", err)
+				break
+			}
+			reply("OK")
+		case "QUIT":
+			cancel()
+			return
+		default:
+			reply("ERR unknown command %q", fields[0])
+		}
+		cancel()
+	}
+}

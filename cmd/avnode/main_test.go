@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"avdb/internal/site"
+	"avdb/internal/transport/memnet"
+	"avdb/internal/wire"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, addrs, err := parsePeers("1=localhost:7101, 2=10.0.0.5:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != 1 || peers[1] != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if addrs[1] != "localhost:7101" || addrs[2] != "10.0.0.5:7102" {
+		t.Fatalf("addrs = %v", addrs)
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	peers, addrs, err := parsePeers("")
+	if err != nil || len(peers) != 0 || len(addrs) != 0 {
+		t.Fatalf("empty spec: %v %v %v", peers, addrs, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, spec := range []string{"nonsense", "x=host:1", "1", "=host:1"} {
+		if _, _, err := parsePeers(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestSeedClassificationAndAV(t *testing.T) {
+	net := memnet.New(memnet.Options{})
+	s, err := site.Open(site.Config{ID: 0, Peers: []wire.SiteID{1, 2}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := seed(s, 10, 900, 0, 0.3, 3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Engine().Len() != 10 {
+		t.Fatalf("seeded %d rows", s.Engine().Len())
+	}
+	// 3 of 10 items are non-regular: no AV defined on them.
+	if s.AV().Defined("product-0000") || s.AV().Defined("product-0002") {
+		t.Fatal("non-regular product has AV")
+	}
+	if !s.AV().Defined("product-0003") {
+		t.Fatal("regular product missing AV")
+	}
+	// Default AV share = initial / sites.
+	if av := s.AV().Avail("product-0003"); av != 300 {
+		t.Fatalf("AV share = %d, want 300", av)
+	}
+}
+
+func TestSeedIdempotentOnRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := site.Config{ID: 0, StorageDir: dir, PersistAV: true, NoSync: true}
+	s, err := site.Open(cfg, memnet.New(memnet.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed(s, 2, 100, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(ctxBg(), "product-0000", -30); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := site.Open(cfg, memnet.New(memnet.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := seed(s2, 2, 100, 0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Restart + reseed must not reset stock or mint AV.
+	if v, _ := s2.Read("product-0000"); v != 70 {
+		t.Fatalf("stock = %d after reseed", v)
+	}
+	if av := s2.AV().Avail("product-0000"); av != 20 {
+		t.Fatalf("AV = %d after reseed, want 50-30", av)
+	}
+}
+
+func ctxBg() context.Context { return context.Background() }

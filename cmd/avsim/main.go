@@ -1,0 +1,205 @@
+// Command avsim reproduces the paper's evaluation and the repository's
+// extension studies. Each experiment prints the same rows the paper
+// reports (Fig. 6's two series, Table 1's per-site counts) as an
+// aligned text table, optionally duplicated as CSV.
+//
+// Usage:
+//
+//	avsim -experiment fig6
+//	avsim -experiment table1
+//	avsim -experiment ablation-decide|ablation-select|scaling|mix|fault|all
+//	avsim -updates 10000 -items 100 -initial 1000 -seed 1 -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"avdb/internal/experiment"
+	"avdb/internal/metrics"
+	"avdb/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("experiment", "fig6", "fig6 | table1 | ablation-decide | ablation-select | ablation-gossip | scaling | mix | fault | latency | all")
+		sites   = flag.Int("sites", 3, "number of sites (site 0 is the maker/base)")
+		items   = flag.Int("items", 100, "products in each local DB")
+		initial = flag.Int64("initial", 1000, "initial stock per product")
+		updates = flag.Int("updates", 10000, "total updates to drive")
+		chkpt   = flag.Int("checkpoint", 1000, "checkpoint interval for series")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		passes  = flag.Int("passes", 0, "AV gathering passes (0 = default 3)")
+		atBase  = flag.Bool("av-at-base", false, "concentrate initial AV at site 0")
+		flushEv = flag.Int("flush-every", 0, "anti-entropy every N updates (0 = end only)")
+		bcast   = flag.Bool("conventional-broadcast", false, "baseline maintains replicas synchronously")
+		csvPath = flag.String("csv", "", "also write the primary table as CSV to this file")
+		traceIn = flag.String("trace-in", "", "replay a recorded op trace instead of the synthetic workload")
+	)
+	flag.Parse()
+
+	cfg := experiment.Config{
+		Sites:                 *sites,
+		Items:                 *items,
+		InitialAmount:         *initial,
+		Updates:               *updates,
+		Checkpoint:            *chkpt,
+		Seed:                  *seed,
+		Passes:                *passes,
+		AVAllAtBase:           *atBase,
+		FlushEvery:            *flushEv,
+		ConventionalBroadcast: *bcast,
+	}
+
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		ops, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		cfg.Replay = ops
+	}
+
+	if err := run(*exp, cfg, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "avsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg experiment.Config, csvPath string) error {
+	switch exp {
+	case "fig6":
+		return runFig6(cfg, csvPath)
+	case "table1":
+		return runTable1(cfg, csvPath)
+	case "ablation-decide":
+		rows, err := experiment.RunDecidingAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(experiment.AblationTable("A1 — deciding-policy ablation (how much should a donor grant?)", rows), csvPath)
+	case "ablation-select":
+		rows, err := experiment.RunSelectingAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(experiment.AblationTable("A2 — selecting-policy ablation (whom to ask for AV?)", rows), csvPath)
+	case "scaling":
+		rows, err := experiment.RunScaling(cfg, []int{3, 5, 9, 17})
+		if err != nil {
+			return err
+		}
+		return emit(experiment.AblationTable("A3 — scaling the number of sites (constant per-site load)", rows), csvPath)
+	case "mix":
+		rows, err := experiment.RunMix(cfg, []float64{0, 0.25, 0.5, 0.75, 1})
+		if err != nil {
+			return err
+		}
+		return emit(experiment.AblationTable("A5 — cost of the non-regular (Immediate Update) share", rows), csvPath)
+	case "fault":
+		res, err := experiment.RunFault(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(experiment.FaultTable(res), csvPath)
+	case "latency":
+		res, err := experiment.RunLatency(experiment.LatencyConfig{Config: cfg})
+		if err != nil {
+			return err
+		}
+		return emit(experiment.LatencyTable(res), csvPath)
+	case "trace":
+		// Emit the synthetic workload the other experiments would drive,
+		// for editing or replaying with -trace-in.
+		gen, err := workload.NewSCM(workload.SCMConfig{
+			Sites:         cfg.Sites,
+			Keys:          workload.Keys(cfg.Items),
+			InitialAmount: cfg.InitialAmount,
+			Seed:          cfg.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		ops := make([]workload.Op, cfg.Updates)
+		for i := range ops {
+			ops[i] = gen.Next()
+		}
+		return workload.WriteTrace(os.Stdout, ops)
+	case "ablation-gossip":
+		rows, err := experiment.RunGossipAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return emit(experiment.AblationTable("A7 — value of the piggybacked AV view (gossip)", rows), csvPath)
+	case "all":
+		for _, e := range []string{"fig6", "table1", "ablation-decide", "ablation-select", "ablation-gossip", "scaling", "mix", "fault", "latency"} {
+			if err := run(e, cfg, ""); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func runFig6(cfg experiment.Config, csvPath string) error {
+	res, err := experiment.RunFig6(cfg)
+	if err != nil {
+		return err
+	}
+	tab, err := experiment.Fig6Table(res)
+	if err != nil {
+		return err
+	}
+	if err := emit(tab, csvPath); err != nil {
+		return err
+	}
+	fmt.Printf("\nreduction vs conventional: %.1f%% (paper reports ~75%%)\n", res.ReductionPct)
+	fmt.Printf("delay updates completed locally: %.1f%%\n", 100*res.Proposed.LocalFraction)
+	fmt.Printf("AV transfer round trips: %d; failures (insufficient AV): %d\n",
+		res.Proposed.TransferRounds, res.Proposed.Failures)
+	fmt.Printf("background sync messages (not in the curves): %d\n", res.Proposed.SyncMessages)
+	return nil
+}
+
+func runTable1(cfg experiment.Config, csvPath string) error {
+	res, err := experiment.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	tab := experiment.Table1Table(res)
+	if err := emit(tab, csvPath); err != nil {
+		return err
+	}
+	if len(res.PerSite) >= 3 {
+		s1, s2 := res.PerSite[1].Last(), res.PerSite[2].Last()
+		fmt.Printf("\nretailer fairness (site1 vs site2 at horizon): %d vs %d\n", s1, s2)
+		fmt.Printf("Jain fairness index over retailers: %.4f (1.0 = perfectly fair)\n",
+			experiment.Fairness(res))
+	}
+	return nil
+}
+
+func emit(tab *metrics.Table, csvPath string) error {
+	if err := tab.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if csvPath == "" {
+		return nil
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tab.WriteCSV(f)
+}

@@ -1,0 +1,261 @@
+// Package av implements the paper's central data structure: the
+// Allowable Volume table. An AV is a site-local slice of the global
+// slack of one numeric datum (a product's stock). A site may decrement
+// the datum locally, with no communication, as long as it spends AV it
+// holds; AV moves between sites through explicit transfers. Because
+// every unit of AV is backed by a unit of real global stock and
+// transfers only move units (never mint them), local autonomous updates
+// can never drive the global value negative — this is the escrow
+// argument behind the paper's "autonomous consistency".
+//
+// The table distinguishes *available* AV from *held* AV: an in-flight
+// update reserves (holds) the volume it intends to spend, so concurrent
+// updates at the same site share the remainder without exclusive locks
+// (paper §3.3: "extra AV can be used by other process while one process
+// accesses the same data"). Aborting releases the hold — the paper's
+// compensating "opposite of update volume".
+package av
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AV table errors.
+var (
+	ErrUndefined = errors.New("av: no allowable volume defined for key")
+	ErrOverspend = errors.New("av: attempt to consume or release more than held")
+	ErrNegative  = errors.New("av: negative amount")
+)
+
+// Table is one site's AV management table. It is safe for concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	avail int64 // free allowable volume
+	held  int64 // reserved by in-flight updates
+}
+
+// NewTable creates an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[string]*entry)}
+}
+
+// Define declares an AV for key with an initial available volume. It is
+// the act that classifies the datum as a Delay-Update (regular) product:
+// the accelerator's checking function routes keys with a defined AV to
+// the Delay path. Defining an already-defined key adds to it.
+func (t *Table) Define(key string, initial int64) error {
+	if initial < 0 {
+		return ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		e = &entry{}
+		t.entries[key] = e
+	}
+	e.avail += initial
+	return nil
+}
+
+// Defined reports whether an AV exists for key — the checking function.
+func (t *Table) Defined(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.entries[key]
+	return ok
+}
+
+// Avail returns the free (unheld) volume for key, 0 if undefined.
+func (t *Table) Avail(key string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[key]; e != nil {
+		return e.avail
+	}
+	return 0
+}
+
+// Held returns the volume currently reserved by in-flight updates.
+func (t *Table) Held(key string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[key]; e != nil {
+		return e.held
+	}
+	return 0
+}
+
+// Total returns avail + held.
+func (t *Table) Total(key string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[key]; e != nil {
+		return e.avail + e.held
+	}
+	return 0
+}
+
+// AcquireUpTo moves up to want units from available to held and returns
+// how many were taken (possibly 0). This is the Delay path's first step:
+// take what the local table has, then go shopping for the shortage.
+func (t *Table) AcquireUpTo(key string, want int64) (int64, error) {
+	if want < 0 {
+		return 0, ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return 0, ErrUndefined
+	}
+	take := want
+	if e.avail < take {
+		take = e.avail
+	}
+	e.avail -= take
+	e.held += take
+	return take, nil
+}
+
+// Acquire reserves exactly n units, or nothing: it returns false when
+// fewer than n are available.
+func (t *Table) Acquire(key string, n int64) (bool, error) {
+	if n < 0 {
+		return false, ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return false, ErrUndefined
+	}
+	if e.avail < n {
+		return false, nil
+	}
+	e.avail -= n
+	e.held += n
+	return true, nil
+}
+
+// CreditHeld adds n units received from a peer directly to the held
+// reservation of an in-flight update (an AV grant the requester is about
+// to spend).
+func (t *Table) CreditHeld(key string, n int64) error {
+	if n < 0 {
+		return ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return ErrUndefined
+	}
+	e.held += n
+	return nil
+}
+
+// Release moves n units from held back to available — the abort path,
+// or the return of surplus after an update completed.
+func (t *Table) Release(key string, n int64) error {
+	if n < 0 {
+		return ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return ErrUndefined
+	}
+	if e.held < n {
+		return fmt.Errorf("%w: release %d held %d", ErrOverspend, n, e.held)
+	}
+	e.held -= n
+	e.avail += n
+	return nil
+}
+
+// Consume destroys n held units — the commit of a decrement update. The
+// destroyed slack is exactly matched by the decrement of the datum, so
+// global conservation is preserved.
+func (t *Table) Consume(key string, n int64) error {
+	if n < 0 {
+		return ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return ErrUndefined
+	}
+	if e.held < n {
+		return fmt.Errorf("%w: consume %d held %d", ErrOverspend, n, e.held)
+	}
+	e.held -= n
+	return nil
+}
+
+// Credit adds n fresh units of available volume — an increment update
+// creating new slack, or an inbound AV transfer.
+func (t *Table) Credit(key string, n int64) error {
+	if n < 0 {
+		return ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return ErrUndefined
+	}
+	e.avail += n
+	return nil
+}
+
+// Debit removes up to n available units for an outbound transfer and
+// returns how many were actually taken. The grantor's deciding policy
+// computes n; Debit enforces it cannot exceed what is free.
+func (t *Table) Debit(key string, n int64) (int64, error) {
+	if n < 0 {
+		return 0, ErrNegative
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		return 0, ErrUndefined
+	}
+	take := n
+	if e.avail < take {
+		take = e.avail
+	}
+	e.avail -= take
+	return take, nil
+}
+
+// Keys returns the defined keys (unordered).
+func (t *Table) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.entries))
+	for k := range t.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Snapshot returns key -> available volume for gossip piggybacking.
+func (t *Table) Snapshot() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.entries))
+	for k, e := range t.entries {
+		out[k] = e.avail
+	}
+	return out
+}

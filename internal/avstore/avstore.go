@@ -1,0 +1,353 @@
+// Package avstore makes a site's Allowable Volume table durable. The
+// paper's fault-tolerance argument needs the AV to survive a site
+// restart: AV is real purchasing power over the shared stock, so losing
+// the table on crash would strand (or worse, double) slack.
+//
+// Store wraps av.Table with a journal of the *durable* balance changes:
+// Define, Credit (an increment's new slack or a received grant), Spend
+// (a committed decrement's consumption) and TransferOut (a grant to a
+// peer). Holds are deliberately volatile — they are reservations of
+// in-flight updates, and an update that did not commit before the crash
+// must not consume AV.
+//
+// Crash-safety discipline (the escrow rule): AV-decreasing records are
+// journaled *before* their effect escapes the site, AV-increasing
+// records *after* their cause is durable. A crash can therefore only
+// lose slack, never mint it: after recovery the system-wide invariant
+// weakens from `sum(AV) == global stock` to `sum(AV) <= global stock`,
+// which preserves the non-negativity guarantee that makes autonomous
+// updates safe.
+package avstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"avdb/internal/av"
+	"avdb/internal/wal"
+)
+
+// Journal record kinds.
+const (
+	opDefine byte = iota + 1
+	opCredit
+	opSpend
+	opTransferOut
+)
+
+// Store errors.
+var ErrCorrupt = errors.New("avstore: corrupt journal or snapshot")
+
+const (
+	snapName  = "av-snapshot.db"
+	snapTmp   = "av-snapshot.tmp"
+	snapMagic = "AVDBAVS1"
+)
+
+// Options tune a Store.
+type Options struct {
+	// NoSync skips fsync on journal appends (experiments).
+	NoSync bool
+	// SegmentMaxBytes passes through to the journal's WAL.
+	SegmentMaxBytes int64
+}
+
+// Store is a durable AV table. It implements core.AVTable.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex // serializes journal append + table apply pairs
+	tbl     *av.Table
+	journal *wal.Log
+}
+
+// Open loads (or creates) the store in dir, replaying snapshot +
+// journal into a fresh table with zero holds.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("avstore: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, tbl: av.NewTable()}
+	boundary, balances, err := s.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	for key, n := range balances {
+		if n < 0 {
+			return nil, fmt.Errorf("%w: negative snapshot balance for %s", ErrCorrupt, key)
+		}
+		if err := s.tbl.Define(key, n); err != nil {
+			return nil, err
+		}
+	}
+	j, err := wal.Open(filepath.Join(dir, "journal"), wal.Options{
+		NoSync:          opts.NoSync,
+		SegmentMaxBytes: opts.SegmentMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.journal = j
+	err = j.Replay(boundary+1, func(lsn uint64, payload []byte) error {
+		return s.applyRecord(payload)
+	})
+	if err != nil {
+		j.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// applyRecord replays one journal record into the table.
+func (s *Store) applyRecord(payload []byte) error {
+	if len(payload) < 1 {
+		return ErrCorrupt
+	}
+	op := payload[0]
+	r := payload[1:]
+	keyLen, n := binary.Uvarint(r)
+	if n <= 0 || keyLen > uint64(len(r)-n) {
+		return ErrCorrupt
+	}
+	key := string(r[n : n+int(keyLen)])
+	r = r[n+int(keyLen):]
+	amount, n := binary.Varint(r)
+	if n <= 0 || len(r) != n {
+		return ErrCorrupt
+	}
+	switch op {
+	case opDefine, opCredit:
+		return s.tbl.Define(key, amount) // Define adds; Credit to a fresh table is the same
+	case opSpend, opTransferOut:
+		// Balance decrease. The table holds it all as avail during
+		// replay; route through acquire+consume to keep accounting exact.
+		ok, err := s.tbl.Acquire(key, amount)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("%w: replayed decrease of %d exceeds balance for %s", ErrCorrupt, amount, key)
+		}
+		return s.tbl.Consume(key, amount)
+	default:
+		return fmt.Errorf("%w: journal op %d", ErrCorrupt, op)
+	}
+}
+
+// appendLocked journals one record. Caller holds s.mu.
+func (s *Store) appendLocked(op byte, key string, amount int64) error {
+	payload := make([]byte, 0, 2+len(key)+10)
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = binary.AppendVarint(payload, amount)
+	if _, err := s.journal.Append(payload); err != nil {
+		return err
+	}
+	return s.journal.Sync()
+}
+
+// --- durable operations (journal + table) ---
+
+// Define declares (or adds to) the AV for key, durably.
+func (s *Store) Define(key string, initial int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Increase: table first (cause), then journal. A crash between the
+	// two loses the new slack — safe direction.
+	if err := s.tbl.Define(key, initial); err != nil {
+		return err
+	}
+	return s.appendLocked(opDefine, key, initial)
+}
+
+// Credit adds fresh available volume durably (an increment's slack or a
+// received transfer). Journaled after the table so a crash loses, never
+// mints.
+func (s *Store) Credit(key string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tbl.Credit(key, n); err != nil {
+		return err
+	}
+	return s.appendLocked(opCredit, key, n)
+}
+
+// Consume destroys n held units durably. The journal record precedes
+// the table change: if we crash after journaling, recovery has already
+// removed the volume (the accompanying storage-WAL decrement may or may
+// not have committed — if it did not, slack is lost, which is safe).
+func (s *Store) Consume(key string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(opSpend, key, n); err != nil {
+		return err
+	}
+	return s.tbl.Consume(key, n)
+}
+
+// Debit removes up to n available units for an outbound transfer,
+// durably, and returns the amount taken. The journal precedes the grant
+// leaving the site.
+func (s *Store) Debit(key string, n int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	taken, err := s.tbl.Debit(key, n)
+	if err != nil || taken == 0 {
+		return taken, err
+	}
+	if err := s.appendLocked(opTransferOut, key, taken); err != nil {
+		// Undo the in-memory debit: the grant must not leave the site
+		// without a durable record.
+		_ = s.tbl.Credit(key, taken)
+		return 0, err
+	}
+	return taken, nil
+}
+
+// --- volatile operations (reservations; pass through) ---
+
+// Defined implements core.AVTable.
+func (s *Store) Defined(key string) bool { return s.tbl.Defined(key) }
+
+// Avail implements core.AVTable.
+func (s *Store) Avail(key string) int64 { return s.tbl.Avail(key) }
+
+// Held implements core.AVTable.
+func (s *Store) Held(key string) int64 { return s.tbl.Held(key) }
+
+// Total implements core.AVTable.
+func (s *Store) Total(key string) int64 { return s.tbl.Total(key) }
+
+// AcquireUpTo implements core.AVTable (volatile reservation).
+func (s *Store) AcquireUpTo(key string, want int64) (int64, error) {
+	return s.tbl.AcquireUpTo(key, want)
+}
+
+// Acquire implements core.AVTable (volatile reservation).
+func (s *Store) Acquire(key string, n int64) (bool, error) { return s.tbl.Acquire(key, n) }
+
+// CreditHeld adds a received grant to the reservation. The grant's
+// durable record is written immediately (it is already durably debited
+// at the granter), while the hold itself stays volatile: a crash before
+// the update commits must return the volume to `avail`, which replaying
+// a Credit does.
+func (s *Store) CreditHeld(key string, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.tbl.CreditHeld(key, n); err != nil {
+		return err
+	}
+	return s.appendLocked(opCredit, key, n)
+}
+
+// Release implements core.AVTable (volatile reservation).
+func (s *Store) Release(key string, n int64) error { return s.tbl.Release(key, n) }
+
+// Keys implements core.AVTable.
+func (s *Store) Keys() []string { return s.tbl.Keys() }
+
+// Snapshot implements core.AVTable.
+func (s *Store) Snapshot() map[string]int64 { return s.tbl.Snapshot() }
+
+// Checkpoint writes the durable balances (avail + held — holds are
+// reservations of still-running updates and belong to the balance) to a
+// snapshot and truncates the journal.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	boundary := s.journal.NextLSN() - 1
+	balances := make(map[string]int64)
+	for _, key := range s.tbl.Keys() {
+		balances[key] = s.tbl.Total(key)
+	}
+	if err := s.writeSnapshot(boundary, balances); err != nil {
+		return err
+	}
+	return s.journal.TruncateBefore(boundary + 1)
+}
+
+// writeSnapshot dumps balances atomically.
+func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64) error {
+	keys := make([]string, 0, len(balances))
+	for k := range balances {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var body []byte
+	body = binary.LittleEndian.AppendUint64(body, boundary)
+	body = binary.AppendUvarint(body, uint64(len(keys)))
+	for _, k := range keys {
+		body = binary.AppendUvarint(body, uint64(len(k)))
+		body = append(body, k...)
+		body = binary.AppendVarint(body, balances[k])
+	}
+	out := make([]byte, 0, len(snapMagic)+4+len(body))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	out = append(out, body...)
+	tmp := filepath.Join(s.dir, snapTmp)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("avstore: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, snapName))
+}
+
+// loadSnapshot reads the snapshot if present.
+func (s *Store) loadSnapshot() (uint64, map[string]int64, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("avstore: %w", err)
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	body := data[len(snapMagic)+4:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	if len(body) < 8 {
+		return 0, nil, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+	}
+	boundary := binary.LittleEndian.Uint64(body)
+	body = body[8:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: snapshot count", ErrCorrupt)
+	}
+	body = body[n:]
+	balances := make(map[string]int64, count)
+	for i := uint64(0); i < count; i++ {
+		keyLen, n := binary.Uvarint(body)
+		if n <= 0 || keyLen > uint64(len(body)-n) {
+			return 0, nil, fmt.Errorf("%w: snapshot key", ErrCorrupt)
+		}
+		key := string(body[n : n+int(keyLen)])
+		body = body[n+int(keyLen):]
+		amount, n := binary.Varint(body)
+		if n <= 0 {
+			return 0, nil, fmt.Errorf("%w: snapshot amount", ErrCorrupt)
+		}
+		body = body[n:]
+		balances[key] = amount
+	}
+	return boundary, balances, nil
+}
+
+// Close syncs and closes the journal.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.Close()
+}

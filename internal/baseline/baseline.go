@@ -1,0 +1,218 @@
+// Package baseline implements the paper's comparator: the "conventional
+// centralized way". Every update, wherever it originates, is shipped to
+// the central site (the integrated system's master), applied there under
+// a local transaction, and acknowledged — one request/reply
+// correspondence per non-central update. Optionally the centre pushes
+// each committed update to replica sites synchronously (Broadcast),
+// which models a centralized system that also maintains remote copies.
+//
+// It runs on the same transport and is counted by the same registry as
+// the proposed system, so Fig. 6's two curves are measured identically.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"avdb/internal/lockmgr"
+	"avdb/internal/metrics"
+	"avdb/internal/storage"
+	"avdb/internal/transport"
+	"avdb/internal/transport/memnet"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// Baseline errors.
+var (
+	// ErrRejected reports the central site refused the update (it would
+	// drive the stock negative).
+	ErrRejected = errors.New("baseline: update rejected by central site")
+)
+
+// Config parameterizes a System.
+type Config struct {
+	// Sites is the number of sites; site 0 is the centre.
+	Sites int
+	// Items and InitialAmount seed the catalog (same as cluster.Config).
+	Items         int
+	InitialAmount int64
+	// Broadcast, when set, pushes every committed update to all replica
+	// sites synchronously (adds Sites-1 correspondences per update).
+	Broadcast bool
+	// Registry counts messages; nil creates a fresh one.
+	Registry *metrics.Registry
+	// CallTimeout bounds RPCs.
+	CallTimeout time.Duration
+	// Latency optionally injects per-message network delay (for the
+	// latency experiment; counting experiments leave it nil).
+	Latency func(from, to wire.SiteID) time.Duration
+}
+
+// System is a running centralized system.
+type System struct {
+	cfg      Config
+	Net      *memnet.Net
+	Registry *metrics.Registry
+	Keys     []string
+
+	nodes   []transport.Node
+	engines []*storage.Engine // engines[0] is authoritative
+	tm      *txn.Manager      // central transaction manager
+}
+
+// New builds and seeds a centralized system.
+func New(cfg Config) (*System, error) {
+	if cfg.Sites < 1 || cfg.Items < 1 {
+		return nil, fmt.Errorf("baseline: need sites >= 1 and items >= 1")
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	s := &System{
+		cfg:      cfg,
+		Registry: cfg.Registry,
+		Net:      memnet.New(memnet.Options{Registry: cfg.Registry, CallTimeout: cfg.CallTimeout, Latency: cfg.Latency}),
+	}
+	for i := 0; i < cfg.Items; i++ {
+		s.Keys = append(s.Keys, fmt.Sprintf("product-%04d", i))
+	}
+	for id := 0; id < cfg.Sites; id++ {
+		eng, err := storage.Open(storage.Options{})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		for i, key := range s.Keys {
+			eng.Put(storage.Record{Key: key, Name: fmt.Sprintf("Product %d", i), Amount: cfg.InitialAmount})
+		}
+		s.engines = append(s.engines, eng)
+	}
+	s.tm = txn.NewManager(s.engines[0], lockmgr.Options{})
+	for id := 0; id < cfg.Sites; id++ {
+		node, err := s.Net.Open(wire.SiteID(id), s.handlerFor(id))
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.nodes = append(s.nodes, node)
+	}
+	return s, nil
+}
+
+// handlerFor builds site id's message handler. Only the centre applies
+// CentralUpdates; replicas accept pushes and serve reads.
+func (s *System) handlerFor(id int) transport.Handler {
+	return func(from wire.SiteID, msg wire.Message) wire.Message {
+		switch m := msg.(type) {
+		case *wire.CentralUpdate:
+			if id == 0 {
+				newVal, err := s.applyCentral(m.Key, m.Delta)
+				if err != nil {
+					return &wire.CentralReply{OK: false, Reason: err.Error()}
+				}
+				return &wire.CentralReply{OK: true, NewValue: newVal}
+			}
+			// Replica receiving a broadcast push from the centre.
+			newVal, err := s.engines[id].ApplyDelta(m.Key, m.Delta)
+			return &wire.CentralReply{OK: err == nil, NewValue: newVal}
+		case *wire.Read:
+			n, err := s.engines[id].Amount(m.Key)
+			return &wire.ReadReply{OK: err == nil, Value: n}
+		default:
+			return nil
+		}
+	}
+}
+
+// applyCentral commits delta at the centre under a transaction, with the
+// same non-negativity rule the proposed system enforces via AV/2PC.
+func (s *System) applyCentral(key string, delta int64) (int64, error) {
+	tx := s.tm.Begin()
+	defer tx.Abort()
+	newVal, err := tx.ApplyDelta(context.Background(), key, delta)
+	if err != nil {
+		return 0, err
+	}
+	if newVal < 0 {
+		return 0, fmt.Errorf("%w: %s would become %d", ErrRejected, key, newVal)
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return newVal, nil
+}
+
+// Update performs one update originating at site from. Updates from the
+// centre itself are local (no messages) — the same advantage the centre
+// enjoys in the paper's conventional curve.
+func (s *System) Update(ctx context.Context, from int, key string, delta int64) error {
+	var newVal int64
+	if from == 0 {
+		v, err := s.applyCentral(key, delta)
+		if err != nil {
+			return err
+		}
+		newVal = v
+	} else {
+		reply, err := s.nodes[from].Call(ctx, 0, &wire.CentralUpdate{Key: key, Delta: delta})
+		if err != nil {
+			return err
+		}
+		cr, ok := reply.(*wire.CentralReply)
+		if !ok {
+			return fmt.Errorf("baseline: unexpected reply %T", reply)
+		}
+		if !cr.OK {
+			return fmt.Errorf("%w: %s", ErrRejected, cr.Reason)
+		}
+		newVal = cr.NewValue
+	}
+	_ = newVal
+	if s.cfg.Broadcast {
+		for id := 1; id < s.cfg.Sites; id++ {
+			if _, err := s.nodes[0].Call(ctx, wire.SiteID(id), &wire.CentralUpdate{Key: key, Delta: delta}); err != nil {
+				return fmt.Errorf("baseline: broadcast to site %d: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Read returns the value as site from sees it: a local replica read when
+// Broadcast maintains replicas, otherwise a round trip to the centre.
+func (s *System) Read(ctx context.Context, from int, key string) (int64, error) {
+	if from == 0 || s.cfg.Broadcast {
+		return s.engines[from].Amount(key)
+	}
+	reply, err := s.nodes[from].Call(ctx, 0, &wire.Read{Key: key})
+	if err != nil {
+		return 0, err
+	}
+	rr, ok := reply.(*wire.ReadReply)
+	if !ok || !rr.OK {
+		return 0, fmt.Errorf("baseline: read of %q failed", key)
+	}
+	return rr.Value, nil
+}
+
+// CentralValue returns the authoritative value.
+func (s *System) CentralValue(key string) (int64, error) {
+	return s.engines[0].Amount(key)
+}
+
+// Close shuts the system down.
+func (s *System) Close() error {
+	for _, n := range s.nodes {
+		n.Close()
+	}
+	var firstErr error
+	for _, e := range s.engines {
+		if err := e.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"avdb/internal/transport"
+)
+
+func bg() context.Context { return context.Background() }
+
+func newSys(t *testing.T, cfg Config) *System {
+	t.Helper()
+	if cfg.Sites == 0 {
+		cfg.Sites = 3
+	}
+	if cfg.Items == 0 {
+		cfg.Items = 2
+	}
+	if cfg.InitialAmount == 0 {
+		cfg.InitialAmount = 100
+	}
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = time.Second
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestRemoteUpdateCostsOneCorrespondence(t *testing.T) {
+	s := newSys(t, Config{})
+	key := s.Keys[0]
+	if err := s.Update(bg(), 1, key, -10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Registry.TotalCorrespondences(); got != 1 {
+		t.Fatalf("correspondences = %d, want 1", got)
+	}
+	if v, _ := s.CentralValue(key); v != 90 {
+		t.Fatalf("central value = %d", v)
+	}
+	// Attribution is to the updating site.
+	if s.Registry.MessagesBySite()[1] != 2 {
+		t.Fatalf("bySite = %v", s.Registry.MessagesBySite())
+	}
+}
+
+func TestCentralUpdateIsFree(t *testing.T) {
+	s := newSys(t, Config{})
+	if err := s.Update(bg(), 0, s.Keys[0], 50); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Registry.TotalMessages(); got != 0 {
+		t.Fatalf("central local update sent %d messages", got)
+	}
+	if v, _ := s.CentralValue(s.Keys[0]); v != 150 {
+		t.Fatalf("value = %d", v)
+	}
+}
+
+func TestRejectsNegativeStock(t *testing.T) {
+	s := newSys(t, Config{})
+	if err := s.Update(bg(), 1, s.Keys[0], -500); !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v", err)
+	}
+	if v, _ := s.CentralValue(s.Keys[0]); v != 100 {
+		t.Fatalf("rejected update mutated state: %d", v)
+	}
+	if err := s.Update(bg(), 0, s.Keys[0], -500); !errors.Is(err, ErrRejected) {
+		t.Fatalf("central-origin err = %v", err)
+	}
+}
+
+func TestUnknownKey(t *testing.T) {
+	s := newSys(t, Config{})
+	if err := s.Update(bg(), 1, "ghost", 1); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	s := newSys(t, Config{})
+	s.Update(bg(), 1, s.Keys[0], -25)
+	v, err := s.Read(bg(), 2, s.Keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 75 {
+		t.Fatalf("read = %d", v)
+	}
+	// That read cost a correspondence too (non-broadcast mode).
+	byKind := s.Registry.MessagesByKind()
+	if byKind["read"] != 1 || byKind["read.reply"] != 1 {
+		t.Fatalf("byKind = %v", byKind)
+	}
+}
+
+func TestBroadcastMaintainsReplicas(t *testing.T) {
+	s := newSys(t, Config{Broadcast: true})
+	key := s.Keys[0]
+	if err := s.Update(bg(), 1, key, -30); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		v, err := s.Read(bg(), id, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 70 {
+			t.Fatalf("site %d replica = %d", id, v)
+		}
+	}
+	// 1 update correspondence + 2 broadcast correspondences.
+	if got := s.Registry.TotalCorrespondences(); got != 3 {
+		t.Fatalf("correspondences = %d, want 3", got)
+	}
+}
+
+func TestCentralUnreachableFailsUpdate(t *testing.T) {
+	s := newSys(t, Config{CallTimeout: 200 * time.Millisecond})
+	s.Net.Crash(0)
+	err := s.Update(bg(), 1, s.Keys[0], -1)
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v — the single point of failure must fail closed", err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(Config{Sites: 0, Items: 1}); err == nil {
+		t.Fatal("0 sites accepted")
+	}
+}

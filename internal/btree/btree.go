@@ -1,0 +1,314 @@
+// Package btree implements an in-memory B+tree mapping string keys to
+// byte-slice values. It is the memtable/index structure under each site's
+// local database: ordered, with range scans over linked leaves, and
+// O(log n) point operations.
+//
+// The tree is not safe for concurrent use; the storage engine above it
+// serializes access (its lock also covers the WAL, so a coarse lock here
+// would be redundant).
+package btree
+
+import "sort"
+
+const (
+	// maxKeys is the fan-out: a node splits when it holds this many keys.
+	maxKeys = 32
+	// minKeys is the smallest legal population for a non-root node.
+	minKeys = maxKeys / 2
+)
+
+// Tree is a B+tree. The zero value is an empty tree ready for use.
+type Tree struct {
+	root *node
+	size int
+}
+
+// node is either a leaf (vals populated, children nil) or an internal
+// node (children populated, vals nil). In an internal node with m keys,
+// children[i] covers keys k with keys[i-1] <= k < keys[i] (using -inf and
+// +inf at the ends); separators need not themselves be present in leaves.
+type node struct {
+	leaf     bool
+	keys     []string
+	vals     [][]byte
+	children []*node
+	next     *node // leaf chain for range scans
+}
+
+// childIndex returns which child of an internal node covers key.
+func (n *node) childIndex(key string) int {
+	return sort.Search(len(n.keys), func(i int) bool { return key < n.keys[i] })
+}
+
+// leafIndex returns the position of key in a leaf and whether it exists.
+func (n *node) leafIndex(key string) (int, bool) {
+	i := sort.SearchStrings(n.keys, key)
+	return i, i < len(n.keys) && n.keys[i] == key
+}
+
+// Len returns the number of keys in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored for key. The returned slice is the tree's
+// own copy; callers must not mutate it.
+func (t *Tree) Get(key string) ([]byte, bool) {
+	n := t.root
+	if n == nil {
+		return nil, false
+	}
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	if i, ok := n.leafIndex(key); ok {
+		return n.vals[i], true
+	}
+	return nil, false
+}
+
+// Put stores value under key, replacing any previous value, and reports
+// whether the key already existed.
+func (t *Tree) Put(key string, value []byte) bool {
+	if t.root == nil {
+		t.root = &node{leaf: true}
+	}
+	if len(t.root.keys) >= maxKeys {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	replaced := t.root.insertNonFull(key, value)
+	if !replaced {
+		t.size++
+	}
+	return replaced
+}
+
+// insertNonFull inserts into a node known to have room (splitting full
+// children on the way down).
+func (n *node) insertNonFull(key string, value []byte) bool {
+	if n.leaf {
+		i, ok := n.leafIndex(key)
+		if ok {
+			n.vals[i] = value
+			return true
+		}
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = value
+		return false
+	}
+	i := n.childIndex(key)
+	if len(n.children[i].keys) >= maxKeys {
+		n.splitChild(i)
+		if key >= n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, value)
+}
+
+// splitChild splits the full child at index i, hoisting a separator into n.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	h := len(child.keys) / 2
+	var sep string
+	var right *node
+	if child.leaf {
+		right = &node{leaf: true}
+		right.keys = append(right.keys, child.keys[h:]...)
+		right.vals = append(right.vals, child.vals[h:]...)
+		child.keys = child.keys[:h:h]
+		child.vals = child.vals[:h:h]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		right = &node{}
+		sep = child.keys[h]
+		right.keys = append(right.keys, child.keys[h+1:]...)
+		right.children = append(right.children, child.children[h+1:]...)
+		child.keys = child.keys[:h:h]
+		child.children = child.children[: h+1 : h+1]
+	}
+	n.keys = append(n.keys, "")
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key string) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.remove(key)
+	if deleted {
+		t.size--
+	}
+	// Shrink the root when it becomes an empty internal node.
+	if !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if t.root.leaf && len(t.root.keys) == 0 && t.size == 0 {
+		t.root = nil
+	}
+	return deleted
+}
+
+// remove deletes key from the subtree rooted at n. Before descending it
+// guarantees the target child holds more than minKeys keys, borrowing
+// from or merging with a sibling if necessary, so deletion never needs
+// to back up the tree.
+func (n *node) remove(key string) bool {
+	if n.leaf {
+		i, ok := n.leafIndex(key)
+		if !ok {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		return true
+	}
+	i := n.childIndex(key)
+	if len(n.children[i].keys) <= minKeys {
+		i = n.fixChild(i)
+	}
+	return n.children[i].remove(key)
+}
+
+// fixChild ensures children[i] has more than minKeys keys and returns
+// the (possibly shifted) index of the child that now covers its range.
+func (n *node) fixChild(i int) int {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].keys) > minKeys {
+		n.borrowFromLeft(i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) > minKeys {
+		n.borrowFromRight(i)
+		return i
+	}
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	_ = child
+	n.mergeChildren(i)
+	return i
+}
+
+// borrowFromLeft moves the left sibling's greatest entry into children[i].
+func (n *node) borrowFromLeft(i int) {
+	left, child := n.children[i-1], n.children[i]
+	if child.leaf {
+		last := len(left.keys) - 1
+		child.keys = append([]string{left.keys[last]}, child.keys...)
+		child.vals = append([][]byte{left.vals[last]}, child.vals...)
+		left.keys = left.keys[:last]
+		left.vals = left.vals[:last]
+		n.keys[i-1] = child.keys[0]
+	} else {
+		lastK := len(left.keys) - 1
+		lastC := len(left.children) - 1
+		child.keys = append([]string{n.keys[i-1]}, child.keys...)
+		child.children = append([]*node{left.children[lastC]}, child.children...)
+		n.keys[i-1] = left.keys[lastK]
+		left.keys = left.keys[:lastK]
+		left.children = left.children[:lastC]
+	}
+}
+
+// borrowFromRight moves the right sibling's smallest entry into children[i].
+func (n *node) borrowFromRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	if child.leaf {
+		child.keys = append(child.keys, right.keys[0])
+		child.vals = append(child.vals, right.vals[0])
+		right.keys = right.keys[1:]
+		right.vals = right.vals[1:]
+		n.keys[i] = right.keys[0]
+	} else {
+		child.keys = append(child.keys, n.keys[i])
+		child.children = append(child.children, right.children[0])
+		n.keys[i] = right.keys[0]
+		right.keys = right.keys[1:]
+		right.children = right.children[1:]
+	}
+}
+
+// mergeChildren merges children[i+1] into children[i], removing the
+// separator between them.
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	if left.leaf {
+		left.keys = append(left.keys, right.keys...)
+		left.vals = append(left.vals, right.vals...)
+		left.next = right.next
+	} else {
+		left.keys = append(left.keys, n.keys[i])
+		left.keys = append(left.keys, right.keys...)
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend calls fn for every (key, value) in ascending key order until fn
+// returns false.
+func (t *Tree) Ascend(fn func(key string, value []byte) bool) {
+	t.AscendRange("", "", fn)
+}
+
+// AscendRange calls fn for keys in [from, to) in ascending order; an
+// empty `to` means "to the end". fn returning false stops the scan.
+func (t *Tree) AscendRange(from, to string, fn func(key string, value []byte) bool) {
+	n := t.root
+	if n == nil {
+		return
+	}
+	for !n.leaf {
+		n = n.children[n.childIndex(from)]
+	}
+	i, _ := n.leafIndex(from)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if to != "" && n.keys[i] >= to {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// Min returns the smallest key, or "" and false when the tree is empty.
+func (t *Tree) Min() (string, bool) {
+	n := t.root
+	if n == nil || t.size == 0 {
+		return "", false
+	}
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0], true
+}
+
+// Max returns the greatest key, or "" and false when the tree is empty.
+func (t *Tree) Max() (string, bool) {
+	n := t.root
+	if n == nil || t.size == 0 {
+		return "", false
+	}
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], true
+}

@@ -1,0 +1,265 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"avdb/internal/rng"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree Len != 0")
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if tr.Delete("x") {
+		t.Fatal("Delete on empty tree returned true")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree")
+	}
+	count := 0
+	tr.Ascend(func(string, []byte) bool { count++; return true })
+	if count != 0 {
+		t.Fatal("Ascend on empty tree visited entries")
+	}
+}
+
+func TestPutGetReplace(t *testing.T) {
+	var tr Tree
+	if tr.Put("a", []byte("1")) {
+		t.Fatal("fresh Put reported replacement")
+	}
+	if !tr.Put("a", []byte("2")) {
+		t.Fatal("second Put did not report replacement")
+	}
+	v, ok := tr.Get("a")
+	if !ok || string(v) != "2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestManyKeysSplitsAndOrder(t *testing.T) {
+	var tr Tree
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tr.Put(fmt.Sprintf("key-%06d", i), []byte(fmt.Sprint(i)))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for _, i := range []int{0, 1, 499, 2500, n - 1} {
+		v, ok := tr.Get(fmt.Sprintf("key-%06d", i))
+		if !ok || string(v) != fmt.Sprint(i) {
+			t.Fatalf("Get key %d = %q, %v", i, v, ok)
+		}
+	}
+	prev := ""
+	count := 0
+	tr.Ascend(func(k string, v []byte) bool {
+		if k <= prev && prev != "" {
+			t.Fatalf("order violated: %q after %q", k, prev)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("Ascend visited %d, want %d", count, n)
+	}
+	min, _ := tr.Min()
+	max, _ := tr.Max()
+	if min != "key-000000" || max != fmt.Sprintf("key-%06d", n-1) {
+		t.Fatalf("min/max = %q/%q", min, max)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	var tr Tree
+	const n = 2000
+	r := rng.New(1)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%05d", i)
+		tr.Put(keys[i], []byte{1})
+	}
+	r.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for i, k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%q) = false", k)
+		}
+		if tr.Delete(k) {
+			t.Fatalf("double Delete(%q) = true", k)
+		}
+		if tr.Len() != n-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("Min after deleting everything")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	var tr Tree
+	for i := 0; i < 100; i++ {
+		tr.Put(fmt.Sprintf("%03d", i), nil)
+	}
+	var got []string
+	tr.AscendRange("010", "015", func(k string, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []string{"010", "011", "012", "013", "014"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Ascend(func(k string, v []byte) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Range starting between keys.
+	got = nil
+	tr.AscendRange("0105", "012", func(k string, v []byte) bool { got = append(got, k); return true })
+	if len(got) != 1 || got[0] != "011" {
+		t.Fatalf("between-keys range got %v", got)
+	}
+}
+
+// opSequence applies a random operation sequence to both the tree and a
+// reference map and checks full equivalence at the end.
+func opSequence(seed uint64, ops int) error {
+	tr := &Tree{}
+	ref := map[string]string{}
+	r := rng.New(seed)
+	keyspace := 200
+	for i := 0; i < ops; i++ {
+		k := fmt.Sprintf("k%03d", r.Intn(keyspace))
+		switch r.Intn(3) {
+		case 0, 1: // put twice as often as delete
+			v := fmt.Sprint(r.Intn(10000))
+			replaced := tr.Put(k, []byte(v))
+			_, existed := ref[k]
+			if replaced != existed {
+				return fmt.Errorf("op %d: Put(%q) replaced=%v want %v", i, k, replaced, existed)
+			}
+			ref[k] = v
+		case 2:
+			deleted := tr.Delete(k)
+			_, existed := ref[k]
+			if deleted != existed {
+				return fmt.Errorf("op %d: Delete(%q) = %v want %v", i, k, deleted, existed)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			return fmt.Errorf("op %d: Len=%d want %d", i, tr.Len(), len(ref))
+		}
+	}
+	// Final equivalence, including iteration order.
+	var refKeys []string
+	for k := range ref {
+		refKeys = append(refKeys, k)
+	}
+	sort.Strings(refKeys)
+	i := 0
+	var iterErr error
+	tr.Ascend(func(k string, v []byte) bool {
+		if i >= len(refKeys) || k != refKeys[i] || string(v) != ref[k] {
+			iterErr = fmt.Errorf("iteration mismatch at %d: %q", i, k)
+			return false
+		}
+		i++
+		return true
+	})
+	if iterErr != nil {
+		return iterErr
+	}
+	if i != len(refKeys) {
+		return fmt.Errorf("iterated %d keys, want %d", i, len(refKeys))
+	}
+	for k, v := range ref {
+		got, ok := tr.Get(k)
+		if !ok || string(got) != v {
+			return fmt.Errorf("Get(%q) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+	return nil
+}
+
+func TestQuickRandomOpsMatchReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		return opSequence(seed, 3000) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandomSequence(t *testing.T) {
+	if err := opSequence(42, 50000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescendingInsertion(t *testing.T) {
+	var tr Tree
+	for i := 999; i >= 0; i-- {
+		tr.Put(fmt.Sprintf("%04d", i), []byte{byte(i)})
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := ""
+	tr.Ascend(func(k string, v []byte) bool {
+		if prev != "" && k <= prev {
+			t.Fatalf("order broken: %q <= %q", k, prev)
+		}
+		prev = k
+		return true
+	})
+}
+
+func BenchmarkPut(b *testing.B) {
+	var tr Tree
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%07d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i%len(keys)], nil)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	var tr Tree
+	const n = 100000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%07d", i)
+		tr.Put(keys[i], []byte{1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%n])
+	}
+}

@@ -1,0 +1,107 @@
+// Package clock abstracts time for avdb. Production code uses the real
+// wall clock; tests and deterministic experiments use a manually advanced
+// virtual clock so that timeouts and latency models never make a test
+// flaky or slow.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout avdb.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives the (then-current) time once
+	// d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock. The zero value is ready to use.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually advanced clock. Time only moves when Advance is
+// called; timers created with After fire during the Advance that passes
+// their deadline. Virtual is safe for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*vtimer
+}
+
+type vtimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewVirtual returns a virtual clock starting at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so firing
+// never blocks Advance.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t := &vtimer{at: v.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- v.now
+		return t.ch
+	}
+	v.timers = append(v.timers, t)
+	return t.ch
+}
+
+// Sleep on a virtual clock blocks until some other goroutine advances the
+// clock past the deadline. Use with care in tests.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	v.now = v.now.Add(d)
+	now := v.now
+	var due, rest []*vtimer
+	for _, t := range v.timers {
+		if !t.at.After(now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	v.timers = rest
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	v.mu.Unlock()
+	for _, t := range due {
+		t.ch <- now
+	}
+}
+
+// Pending reports how many timers have not yet fired.
+func (v *Virtual) Pending() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}

@@ -1,0 +1,95 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	c := Real{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestVirtualNowFixedUntilAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(3 * time.Second)
+	if want := start.Add(3 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAfterFiresOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch := v.After(10 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	v.Advance(5 * time.Millisecond)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire after deadline passed")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", v.Pending())
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualMultipleTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	c1 := v.After(1 * time.Second)
+	c2 := v.After(2 * time.Second)
+	c3 := v.After(3 * time.Second)
+	v.Advance(10 * time.Second)
+	for i, ch := range []<-chan time.Time{c1, c2, c3} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("timer %d did not fire", i+1)
+		}
+	}
+}
+
+func TestVirtualSleepUnblocksOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Wait for the sleeper to register its timer.
+	for v.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never returned")
+	}
+}

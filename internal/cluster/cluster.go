@@ -1,0 +1,273 @@
+// Package cluster builds complete multi-site avdb systems on an
+// in-process network: N sites (site 0 is the base/maker), a shared
+// product catalog seeded everywhere, and initial AV allocations for the
+// regular products. Experiments, examples and integration tests all
+// start from here.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"avdb/internal/core"
+	"avdb/internal/metrics"
+	"avdb/internal/site"
+	"avdb/internal/storage"
+	"avdb/internal/strategy"
+	"avdb/internal/transport/memnet"
+	"avdb/internal/wire"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Sites is the number of sites (>= 1); site 0 is the base.
+	Sites int
+	// Items is the number of products in the catalog.
+	Items int
+	// InitialAmount is every product's starting stock.
+	InitialAmount int64
+	// NonRegularFraction in [0,1] selects how many items get no AV and
+	// therefore take the Immediate path (the first
+	// round(frac*Items) items, deterministically).
+	NonRegularFraction float64
+	// AVAllAtBase concentrates the whole initial AV at site 0 instead of
+	// the default equal split (an ablation of the initial allocation).
+	AVAllAtBase bool
+	// Policy, Passes, Seed configure every accelerator.
+	Policy strategy.Policy
+	Passes int
+	Seed   uint64
+	// PolicyFor, when non-nil, supplies each site its own policy and
+	// optional demand observer (stateful policies such as
+	// strategy.GrantDemandAware must not be shared between sites).
+	PolicyFor func(site int) (strategy.Policy, core.DemandObserver)
+	// DisableGossip turns off AV-view piggybacking everywhere (A7).
+	DisableGossip bool
+	// Registry counts messages; nil creates a fresh one.
+	Registry *metrics.Registry
+	// Latency optionally injects network delay.
+	Latency func(from, to wire.SiteID) time.Duration
+	// CallTimeout bounds RPCs (default 5s; fault experiments shorten it).
+	CallTimeout time.Duration
+	// LockTimeout, RequestTimeout, PrepareTimeout are passed to sites.
+	LockTimeout, RequestTimeout, PrepareTimeout time.Duration
+	// FlushInterval/SweepInterval enable background loops on every site.
+	FlushInterval, SweepInterval time.Duration
+}
+
+// Cluster is a running multi-site system.
+type Cluster struct {
+	Cfg      Config
+	Net      *memnet.Net
+	Sites    []*site.Site
+	Registry *metrics.Registry
+
+	// RegularKeys have AVs (Delay Update); NonRegularKeys do not
+	// (Immediate Update).
+	RegularKeys    []string
+	NonRegularKeys []string
+}
+
+// KeyName returns the catalog key for item i.
+func KeyName(i int) string { return fmt.Sprintf("product-%04d", i) }
+
+// New builds and seeds a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 site, got %d", cfg.Sites)
+	}
+	if cfg.Items < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 item, got %d", cfg.Items)
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	c := &Cluster{
+		Cfg:      cfg,
+		Registry: cfg.Registry,
+		Net: memnet.New(memnet.Options{
+			Registry:    cfg.Registry,
+			Latency:     cfg.Latency,
+			CallTimeout: cfg.CallTimeout,
+		}),
+	}
+
+	nonRegular := int(cfg.NonRegularFraction*float64(cfg.Items) + 0.5)
+	var records []storage.Record
+	for i := 0; i < cfg.Items; i++ {
+		rec := storage.Record{
+			Key:    KeyName(i),
+			Name:   fmt.Sprintf("Product %d", i),
+			Amount: cfg.InitialAmount,
+			Class:  storage.Regular,
+		}
+		if i < nonRegular {
+			rec.Class = storage.NonRegular
+			c.NonRegularKeys = append(c.NonRegularKeys, rec.Key)
+		} else {
+			c.RegularKeys = append(c.RegularKeys, rec.Key)
+		}
+		records = append(records, rec)
+	}
+
+	for id := 0; id < cfg.Sites; id++ {
+		var peers []wire.SiteID
+		for p := 0; p < cfg.Sites; p++ {
+			if p != id {
+				peers = append(peers, wire.SiteID(p))
+			}
+		}
+		policy := cfg.Policy
+		var demand core.DemandObserver
+		if cfg.PolicyFor != nil {
+			policy, demand = cfg.PolicyFor(id)
+		}
+		s, err := site.Open(site.Config{
+			ID:             wire.SiteID(id),
+			Base:           0,
+			Peers:          peers,
+			Policy:         policy,
+			Passes:         cfg.Passes,
+			Seed:           cfg.Seed + uint64(id)*7919,
+			Demand:         demand,
+			DisableGossip:  cfg.DisableGossip,
+			LockTimeout:    cfg.LockTimeout,
+			RequestTimeout: cfg.RequestTimeout,
+			PrepareTimeout: cfg.PrepareTimeout,
+			FlushInterval:  cfg.FlushInterval,
+			SweepInterval:  cfg.SweepInterval,
+		}, c.Net)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := s.Seed(records...); err != nil {
+			s.Close()
+			c.Close()
+			return nil, err
+		}
+		c.Sites = append(c.Sites, s)
+	}
+
+	// Initial AV allocation: the whole slack (== initial stock) is split
+	// across sites; equality of sum(AV) and global stock is the system's
+	// conservation invariant thereafter.
+	for _, key := range c.RegularKeys {
+		if cfg.AVAllAtBase {
+			if err := c.Sites[0].DefineAV(key, cfg.InitialAmount); err != nil {
+				c.Close()
+				return nil, err
+			}
+			for id := 1; id < cfg.Sites; id++ {
+				if err := c.Sites[id].DefineAV(key, 0); err != nil {
+					c.Close()
+					return nil, err
+				}
+			}
+			continue
+		}
+		share := cfg.InitialAmount / int64(cfg.Sites)
+		remainder := cfg.InitialAmount - share*int64(cfg.Sites)
+		for id := 0; id < cfg.Sites; id++ {
+			vol := share
+			if id == 0 {
+				vol += remainder
+			}
+			if err := c.Sites[id].DefineAV(key, vol); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Update applies delta to key at site idx.
+func (c *Cluster) Update(ctx context.Context, idx int, key string, delta int64) (core.Result, error) {
+	return c.Sites[idx].Update(ctx, key, delta)
+}
+
+// Read returns site idx's local value of key.
+func (c *Cluster) Read(idx int, key string) (int64, error) {
+	return c.Sites[idx].Read(key)
+}
+
+// FlushAll pushes every site's replication backlog once.
+func (c *Cluster) FlushAll(ctx context.Context) error {
+	var firstErr error
+	for _, s := range c.Sites {
+		if err := s.Flush(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ConvergedValue verifies every site holds the same value for key
+// (call after FlushAll) and returns it.
+func (c *Cluster) ConvergedValue(key string) (int64, error) {
+	v0, err := c.Sites[0].Read(key)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(c.Sites); i++ {
+		v, err := c.Sites[i].Read(key)
+		if err != nil {
+			return 0, err
+		}
+		if v != v0 {
+			return 0, fmt.Errorf("cluster: key %s diverged: site0=%d site%d=%d", key, v0, i, v)
+		}
+	}
+	return v0, nil
+}
+
+// CheckInvariants asserts, for every regular key, that the replicas have
+// converged and that the system-wide AV exactly equals the global stock:
+// transfers conserve AV, decrements consume one unit of AV per unit of
+// stock, increments mint one per unit. Call after FlushAll with no
+// in-flight updates.
+func (c *Cluster) CheckInvariants() error {
+	for _, key := range c.RegularKeys {
+		v, err := c.ConvergedValue(key)
+		if err != nil {
+			return err
+		}
+		var avSum int64
+		for _, s := range c.Sites {
+			avSum += s.AV().Total(key)
+		}
+		if avSum != v {
+			return fmt.Errorf("cluster: key %s AV sum %d != global stock %d", key, avSum, v)
+		}
+		// At quiescence no update is in flight, so no reservation may
+		// linger — a leaked hold would silently shrink usable slack.
+		for i, s := range c.Sites {
+			if held := s.AV().Held(key); held != 0 {
+				return fmt.Errorf("cluster: key %s site %d leaked hold of %d", key, i, held)
+			}
+		}
+	}
+	for _, key := range c.NonRegularKeys {
+		if _, err := c.ConvergedValue(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts down every site.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, s := range c.Sites {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.Sites = nil
+	return firstErr
+}

@@ -1,0 +1,350 @@
+// Package core implements the paper's primary contribution: the
+// accelerator. One accelerator runs at each site, owns the site's AV
+// management table, and realizes both update disciplines behind a single
+// Update call:
+//
+//   - checking — consult the AV table: a key with a defined AV is a
+//     Delay Update (regular product); otherwise Immediate Update;
+//   - Delay Update — spend local AV with zero communication (Fig. 3);
+//     on shortage, hold what the site has and request transfers from
+//     peers chosen by the selecting function, in volumes chosen by the
+//     deciding function (Fig. 4);
+//   - Immediate Update — delegate to the primary-copy two-phase commit
+//     (Fig. 5).
+//
+// The accelerator never exposes AV to end users, holds AV reservations
+// instead of exclusive locks, and compensates (releases) holds when an
+// update cannot complete — exactly the behaviour §3.3 of the paper
+// prescribes.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avdb/internal/replica"
+	"avdb/internal/rng"
+	"avdb/internal/strategy"
+	"avdb/internal/transport"
+	"avdb/internal/twopc"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// Accelerator errors.
+var (
+	// ErrInsufficientAV reports that the site's own AV plus everything
+	// peers were willing to transfer did not cover the update. All
+	// accumulated AV was returned to the local table (paper §3.3).
+	ErrInsufficientAV = errors.New("core: insufficient allowable volume")
+)
+
+// Config parameterizes an Accelerator.
+type Config struct {
+	// Site is this accelerator's site.
+	Site wire.SiteID
+	// Base hosts the primary copy for Immediate Updates.
+	Base wire.SiteID
+	// Peers lists every other site.
+	Peers []wire.SiteID
+	// Policy supplies the selecting and deciding functions
+	// (default strategy.SODA99()).
+	Policy strategy.Policy
+	// Passes bounds how many times the full candidate list may be
+	// re-consulted for one update (default 3). Within a pass each peer
+	// is asked at most once.
+	Passes int
+	// RequestTimeout bounds each AV transfer call (default 2s).
+	RequestTimeout time.Duration
+	// Seed feeds the policy's randomness.
+	Seed uint64
+	// Demand, when non-nil, is fed the volume of every local decrement
+	// so demand-aware deciding policies can forecast the site's own
+	// needs (see strategy.GrantDemandAware).
+	Demand DemandObserver
+	// DisableGossip drops the AV-view piggyback on replies and ignores
+	// received views — the A7 ablation isolating the value of the
+	// paper's "information collected at the necessary communication".
+	DisableGossip bool
+}
+
+// DemandObserver receives the site's own consumption stream.
+type DemandObserver interface {
+	// Observe records that a local decrement consumed n units of key.
+	Observe(key string, n int64)
+}
+
+// Stats counts accelerator outcomes; all fields are atomically updated.
+type Stats struct {
+	DelayLocal     atomic.Int64 // delay updates completed with no communication
+	DelayTransfer  atomic.Int64 // delay updates that needed >= 1 AV transfer
+	TransferRounds atomic.Int64 // total AV request round trips issued
+	Immediate      atomic.Int64 // immediate updates attempted
+	Insufficient   atomic.Int64 // delay updates failed for lack of AV
+}
+
+// Accelerator is one site's accelerator.
+type Accelerator struct {
+	cfg  Config
+	avt  AVTable
+	view *strategy.View
+	tm   *txn.Manager
+	iu   *twopc.Engine
+	repl *replica.Replicator
+	node transport.Node
+
+	rmu sync.Mutex
+	rnd *rng.Rand
+
+	stats Stats
+}
+
+// New assembles an accelerator from its site's components. Call SetNode
+// once the transport endpoint exists.
+func New(cfg Config, avt AVTable, tm *txn.Manager, iu *twopc.Engine, repl *replica.Replicator) *Accelerator {
+	if cfg.Policy.Selector == nil || cfg.Policy.Decider == nil {
+		cfg.Policy = strategy.SODA99()
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 3
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	return &Accelerator{
+		cfg:  cfg,
+		avt:  avt,
+		view: strategy.NewView(),
+		tm:   tm,
+		iu:   iu,
+		repl: repl,
+		rnd:  rng.New(cfg.Seed ^ (uint64(cfg.Site) << 32)),
+	}
+}
+
+// SetNode attaches the transport endpoint.
+func (a *Accelerator) SetNode(n transport.Node) { a.node = n }
+
+// AV exposes the AV table (examples and experiments inspect it).
+func (a *Accelerator) AV() AVTable { return a.avt }
+
+// View exposes the gossiped AV view.
+func (a *Accelerator) View() *strategy.View { return a.view }
+
+// Stats exposes the outcome counters.
+func (a *Accelerator) Stats() *Stats { return &a.stats }
+
+// Path says which discipline handled an update.
+type Path int
+
+// Update paths.
+const (
+	PathDelayLocal Path = iota
+	PathDelayTransfer
+	PathImmediate
+)
+
+// String names the path.
+func (p Path) String() string {
+	switch p {
+	case PathDelayLocal:
+		return "delay-local"
+	case PathDelayTransfer:
+		return "delay-transfer"
+	default:
+		return "immediate"
+	}
+}
+
+// Result describes a completed update.
+type Result struct {
+	Path        Path
+	Rounds      int   // AV transfer round trips used
+	Transferred int64 // AV received from peers
+}
+
+// Update applies delta to key using the appropriate discipline. This is
+// the accelerator's single entry point: the checking function decides
+// the path.
+func (a *Accelerator) Update(ctx context.Context, key string, delta int64) (Result, error) {
+	if a.avt.Defined(key) {
+		return a.delayUpdate(ctx, key, delta)
+	}
+	a.stats.Immediate.Add(1)
+	err := a.iu.Update(ctx, a.cfg.Peers, key, delta)
+	return Result{Path: PathImmediate}, err
+}
+
+// delayUpdate is the Delay Update path (Figs. 3 and 4).
+func (a *Accelerator) delayUpdate(ctx context.Context, key string, delta int64) (Result, error) {
+	if delta >= 0 {
+		// An increment creates slack: apply locally and credit the AV.
+		if err := a.applyLocal(ctx, key, delta); err != nil {
+			return Result{}, err
+		}
+		if err := a.avt.Credit(key, delta); err != nil {
+			return Result{}, err
+		}
+		a.stats.DelayLocal.Add(1)
+		return Result{Path: PathDelayLocal}, nil
+	}
+
+	need := -delta
+	if a.cfg.Demand != nil {
+		a.cfg.Demand.Observe(key, need)
+	}
+	got, err := a.avt.AcquireUpTo(key, need)
+	if err != nil {
+		return Result{}, err
+	}
+	rounds := 0
+	var transferred int64
+
+	if got < need {
+		// Hold what we have and shop for the shortage.
+		got2, rounds2, transferred2, err := a.gatherAV(ctx, key, need, got)
+		got, rounds, transferred = got2, rounds2, transferred2
+		if err != nil {
+			// Store all accumulated AV back in the local table (§3.3).
+			if relErr := a.avt.Release(key, got); relErr != nil {
+				return Result{}, relErr
+			}
+			a.stats.Insufficient.Add(1)
+			return Result{Rounds: rounds, Transferred: transferred}, err
+		}
+	}
+
+	// Enough volume is held: apply the update, spend the AV, return any
+	// surplus from generous grants to the table.
+	if err := a.applyLocal(ctx, key, delta); err != nil {
+		a.avt.Release(key, got)
+		return Result{}, err
+	}
+	if err := a.avt.Consume(key, need); err != nil {
+		return Result{}, err
+	}
+	if got > need {
+		if err := a.avt.Release(key, got-need); err != nil {
+			return Result{}, err
+		}
+	}
+	res := Result{Path: PathDelayLocal, Rounds: rounds, Transferred: transferred}
+	if rounds > 0 {
+		res.Path = PathDelayTransfer
+		a.stats.DelayTransfer.Add(1)
+	} else {
+		a.stats.DelayLocal.Add(1)
+	}
+	return res, nil
+}
+
+// gatherAV requests AV transfers until the hold reaches need or the
+// candidate passes are exhausted. It returns the final hold size, the
+// number of request rounds, and the total volume received.
+func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64) (int64, int, int64, error) {
+	rounds := 0
+	var transferred int64
+	for pass := 0; pass < a.cfg.Passes && got < need; pass++ {
+		cands := a.view.Candidates(key, a.cfg.Peers)
+		a.rmu.Lock()
+		cands = a.cfg.Policy.Selector.Order(cands, a.rnd)
+		a.rmu.Unlock()
+		progress := false
+		for _, c := range cands {
+			if got >= need {
+				break
+			}
+			req := a.cfg.Policy.Decider.Request(need - got)
+			cctx, cancel := context.WithTimeout(ctx, a.cfg.RequestTimeout)
+			reply, err := a.node.Call(cctx, c.Site, &wire.AVRequest{Key: key, Amount: req})
+			cancel()
+			rounds++
+			a.stats.TransferRounds.Add(1)
+			if err != nil {
+				// Unreachable peer: remember it as empty so the selector
+				// deprioritizes it until we hear otherwise.
+				a.view.Observe(c.Site, key, 0)
+				continue
+			}
+			avr, ok := reply.(*wire.AVReply)
+			if !ok {
+				continue
+			}
+			if !a.cfg.DisableGossip {
+				a.view.ObserveAll(avr.View)
+			}
+			if avr.Granted > 0 {
+				if err := a.avt.CreditHeld(key, avr.Granted); err != nil {
+					return got, rounds, transferred, err
+				}
+				got += avr.Granted
+				transferred += avr.Granted
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	if got < need {
+		return got, rounds, transferred, fmt.Errorf("%w: key %s need %d held %d after %d rounds",
+			ErrInsufficientAV, key, need, got, rounds)
+	}
+	return got, rounds, transferred, nil
+}
+
+// applyLocal commits delta to the local database under a (brief)
+// exclusive lock and records it for lazy propagation — atomically with
+// the data when the site is durable.
+func (a *Accelerator) applyLocal(ctx context.Context, key string, delta int64) error {
+	tx := a.tm.Begin()
+	if _, err := tx.ApplyDelta(ctx, key, delta); err != nil {
+		tx.Abort()
+		return err
+	}
+	_, err := a.repl.CommitWithRecord(tx, key, delta)
+	return err
+}
+
+// HandleAVRequest is the peer-side handler for AV transfer requests: the
+// deciding function computes the donation, the table enforces it, and
+// the reply piggybacks this site's view so the requester's selecting
+// function has fresher information (the paper's gossip: "information is
+// collected at the necessary communication for AV management").
+func (a *Accelerator) HandleAVRequest(from wire.SiteID, req *wire.AVRequest) *wire.AVReply {
+	decider := a.cfg.Policy.Decider
+	if kd, ok := decider.(strategy.KeyedDecider); ok {
+		decider = kd.ForKey(req.Key)
+	}
+	want := decider.Grant(a.avt.Avail(req.Key), req.Amount)
+	granted, err := a.avt.Debit(req.Key, want)
+	if err != nil {
+		granted = 0
+	}
+	if a.cfg.DisableGossip {
+		return &wire.AVReply{Key: req.Key, Granted: granted}
+	}
+	// The requester asked because it is short; remember that.
+	a.view.Observe(from, req.Key, 0)
+	infos := []wire.AVInfo{{Site: a.cfg.Site, Key: req.Key, Avail: a.avt.Avail(req.Key)}}
+	for _, p := range a.cfg.Peers {
+		if p == from {
+			continue
+		}
+		if known, ok := a.view.Known(p, req.Key); ok {
+			infos = append(infos, wire.AVInfo{Site: p, Key: req.Key, Avail: known})
+		}
+	}
+	return &wire.AVReply{Key: req.Key, Granted: granted, View: infos}
+}
+
+// Read returns the site's current local value for key — the autonomous
+// read the Delay discipline offers (fresh for local updates, eventually
+// consistent for remote ones).
+func (a *Accelerator) Read(key string) (int64, error) {
+	return a.tm.Engine().Amount(key)
+}

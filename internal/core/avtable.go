@@ -1,0 +1,36 @@
+package core
+
+// AVTable is the accelerator's view of an Allowable Volume table. The
+// canonical implementation is av.Table (volatile); avstore.Store wraps
+// it with a journal so a site's AV survives restarts without breaking
+// the global conservation argument (it may only *under*-count after a
+// crash, never over-count — lost slack is safe, minted slack is not).
+type AVTable interface {
+	// Define declares (or adds to) the AV for key.
+	Define(key string, initial int64) error
+	// Defined reports whether key carries an AV (the checking function).
+	Defined(key string) bool
+	// Avail returns the free volume; Held the reserved volume; Total
+	// their sum.
+	Avail(key string) int64
+	Held(key string) int64
+	Total(key string) int64
+	// AcquireUpTo reserves up to want units and returns how many.
+	AcquireUpTo(key string, want int64) (int64, error)
+	// Acquire reserves exactly n units or nothing.
+	Acquire(key string, n int64) (bool, error)
+	// CreditHeld adds transferred-in units directly to the reservation.
+	CreditHeld(key string, n int64) error
+	// Release moves n reserved units back to available (abort/surplus).
+	Release(key string, n int64) error
+	// Consume destroys n reserved units (commit of a decrement).
+	Consume(key string, n int64) error
+	// Credit adds n fresh available units (increment or inbound grant).
+	Credit(key string, n int64) error
+	// Debit removes up to n available units for an outbound transfer and
+	// returns how many were taken.
+	Debit(key string, n int64) (int64, error)
+	// Keys lists defined keys; Snapshot maps key -> available volume.
+	Keys() []string
+	Snapshot() map[string]int64
+}

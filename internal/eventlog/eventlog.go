@@ -1,0 +1,140 @@
+// Package eventlog is avdb's lightweight observability substrate: a
+// bounded in-memory ring of structured protocol events (updates, AV
+// grants, 2PC phases, sync batches) that operators can snapshot, dump,
+// or subscribe to live. Sites append to it when configured with one;
+// the cost when unconfigured is a nil check.
+package eventlog
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"avdb/internal/wire"
+)
+
+// Event is one observed protocol action.
+type Event struct {
+	Time   time.Time
+	Site   wire.SiteID // the site that recorded the event
+	Type   string      // dotted class, e.g. "update.delay", "av.grant"
+	Key    string      // product key, when applicable
+	Detail string      // free-form specifics
+}
+
+// String renders the event for humans.
+func (e Event) String() string {
+	return fmt.Sprintf("%s site=%d %s key=%s %s",
+		e.Time.Format("15:04:05.000"), e.Site, e.Type, e.Key, e.Detail)
+}
+
+// Log is a fixed-capacity ring of events with optional live
+// subscribers. It is safe for concurrent use.
+type Log struct {
+	mu    sync.Mutex
+	buf   []Event
+	start int // index of the oldest event
+	count int
+	subs  map[int]chan Event
+	nextS int
+	total uint64
+}
+
+// New creates a log keeping the most recent capacity events
+// (minimum 16).
+func New(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{buf: make([]Event, capacity), subs: make(map[int]chan Event)}
+}
+
+// Append records an event, evicting the oldest when full, and fans it
+// out to subscribers (dropping for any subscriber whose buffer is full
+// — observability must never block the data path).
+func (l *Log) Append(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	if l.count < len(l.buf) {
+		l.buf[(l.start+l.count)%len(l.buf)] = e
+		l.count++
+	} else {
+		l.buf[l.start] = e
+		l.start = (l.start + 1) % len(l.buf)
+	}
+	l.total++
+	for _, ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+		}
+	}
+	l.mu.Unlock()
+}
+
+// Appendf formats and records an event.
+func (l *Log) Appendf(site wire.SiteID, typ, key, format string, args ...any) {
+	l.Append(Event{Site: site, Type: typ, Key: key, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Len returns how many events are currently retained.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Total returns how many events have ever been appended.
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *Log) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.count)
+	for i := 0; i < l.count; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Subscribe returns a channel that receives every subsequent event
+// (best effort: events are dropped rather than blocking producers when
+// the buffer is full) and a cancel function that closes it.
+func (l *Log) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	l.mu.Lock()
+	id := l.nextS
+	l.nextS++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		if _, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(ch)
+		}
+		l.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Dump writes the retained events to w, oldest first.
+func (l *Log) Dump(w io.Writer) error {
+	for _, e := range l.Snapshot() {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

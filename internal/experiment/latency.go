@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"avdb/internal/baseline"
+	"avdb/internal/cluster"
+	"avdb/internal/core"
+	"avdb/internal/metrics"
+	"avdb/internal/wire"
+	"avdb/internal/workload"
+)
+
+// LatencyConfig parameterizes the real-time-property study (A6): the
+// same workload as Fig. 6, but with injected one-way network latency,
+// measuring each update's wall-clock completion time by discipline.
+type LatencyConfig struct {
+	Config
+	// OneWay is the injected one-way message latency (default 2ms).
+	OneWay time.Duration
+}
+
+// LatencyResult holds per-discipline latency distributions.
+type LatencyResult struct {
+	DelayLocal    *metrics.Histogram // proposed, completed locally
+	DelayTransfer *metrics.Histogram // proposed, needed AV transfers
+	Immediate     *metrics.Histogram // proposed, 2PC path
+	Conventional  *metrics.Histogram // baseline, remote updates only
+	OneWay        time.Duration
+}
+
+// RunLatency measures update latency under network delay. The paper's
+// real-time claim is that a retailer's update completes at local speed;
+// with d one-way latency the conventional system cannot beat 2d.
+func RunLatency(cfg LatencyConfig) (*LatencyResult, error) {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.OneWay <= 0 {
+		cfg.OneWay = 2 * time.Millisecond
+	}
+	if cfg.Updates == 10000 {
+		cfg.Updates = 2000 // default horizon would take minutes of real sleep
+	}
+	if cfg.NonRegularFraction == 0 {
+		cfg.NonRegularFraction = 0.1 // represent the Immediate path too
+	}
+	lat := func(from, to wire.SiteID) time.Duration { return cfg.OneWay }
+
+	res := &LatencyResult{
+		DelayLocal:    metrics.NewHistogram(),
+		DelayTransfer: metrics.NewHistogram(),
+		Immediate:     metrics.NewHistogram(),
+		Conventional:  metrics.NewHistogram(),
+		OneWay:        cfg.OneWay,
+	}
+	ctx := context.Background()
+
+	// Proposed system.
+	c, err := cluster.New(cluster.Config{
+		Sites:              cfg.Sites,
+		Items:              cfg.Items,
+		InitialAmount:      cfg.InitialAmount,
+		NonRegularFraction: cfg.NonRegularFraction,
+		Policy:             cfg.Policy,
+		Seed:               cfg.Seed,
+		Latency:            lat,
+		CallTimeout:        10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewSCM(workload.SCMConfig{
+		Sites:         cfg.Sites,
+		Keys:          append(append([]string{}, c.RegularKeys...), c.NonRegularKeys...),
+		InitialAmount: cfg.InitialAmount,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.Updates; i++ {
+		op := gen.Next()
+		start := time.Now()
+		r, err := c.Update(ctx, op.Site, op.Key, op.Delta)
+		elapsed := time.Since(start)
+		if err != nil {
+			continue // refused updates measured elsewhere
+		}
+		switch r.Path {
+		case core.PathDelayLocal:
+			res.DelayLocal.Observe(elapsed)
+		case core.PathDelayTransfer:
+			res.DelayTransfer.Observe(elapsed)
+		case core.PathImmediate:
+			res.Immediate.Observe(elapsed)
+		}
+	}
+	c.Close()
+
+	// Conventional system under the same latency. Only remote updates
+	// are measured (central-site updates are trivially local there too).
+	sys, err := baseline.New(baseline.Config{
+		Sites:         cfg.Sites,
+		Items:         cfg.Items,
+		InitialAmount: cfg.InitialAmount,
+		CallTimeout:   10 * time.Second,
+		Latency:       lat,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Close()
+	gen2, err := workload.NewSCM(workload.SCMConfig{
+		Sites:         cfg.Sites,
+		Keys:          sys.Keys,
+		InitialAmount: cfg.InitialAmount,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Updates; i++ {
+		op := gen2.Next()
+		start := time.Now()
+		err := sys.Update(ctx, op.Site, op.Key, op.Delta)
+		elapsed := time.Since(start)
+		if err != nil {
+			continue
+		}
+		if op.Site != 0 {
+			res.Conventional.Observe(elapsed)
+		}
+	}
+	return res, nil
+}
+
+// LatencyTable renders the distribution comparison.
+func LatencyTable(res *LatencyResult) *metrics.Table {
+	t := &metrics.Table{
+		Title:   fmt.Sprintf("A6 — update latency with %v one-way network delay", res.OneWay),
+		Columns: []string{"path", "count", "p50", "p95", "p99", "max"},
+	}
+	row := func(name string, h *metrics.Histogram) {
+		t.AddRow(name,
+			fmt.Sprint(h.Count()),
+			h.Percentile(50).Round(10*time.Microsecond).String(),
+			h.Percentile(95).Round(10*time.Microsecond).String(),
+			h.Percentile(99).Round(10*time.Microsecond).String(),
+			h.Max().Round(10*time.Microsecond).String())
+	}
+	row("proposed delay-local", res.DelayLocal)
+	row("proposed delay-transfer", res.DelayTransfer)
+	row("proposed immediate", res.Immediate)
+	row("conventional remote", res.Conventional)
+	return t
+}

@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatencyStudyShape(t *testing.T) {
+	res, err := RunLatency(LatencyConfig{
+		Config: Config{Updates: 300, Items: 10, Checkpoint: 100, InitialAmount: 1000,
+			NonRegularFraction: 0.2, Seed: 3},
+		OneWay: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DelayLocal.Count() == 0 || res.Conventional.Count() == 0 {
+		t.Fatalf("missing samples: local=%d conv=%d",
+			res.DelayLocal.Count(), res.Conventional.Count())
+	}
+	// The real-time property: a local Delay Update is far below one
+	// network round trip; the conventional remote update cannot be.
+	localP50 := res.DelayLocal.Percentile(50)
+	convP50 := res.Conventional.Percentile(50)
+	if localP50 >= 2*time.Millisecond {
+		t.Fatalf("delay-local p50 = %v, want well under one-way latency", localP50)
+	}
+	if convP50 < 4*time.Millisecond {
+		t.Fatalf("conventional p50 = %v, want >= 1 RTT (4ms)", convP50)
+	}
+	// Immediate updates pay at least two round trips.
+	if res.Immediate.Count() > 0 {
+		if imm := res.Immediate.Percentile(50); imm < 8*time.Millisecond {
+			t.Fatalf("immediate p50 = %v, want >= 2 RTTs", imm)
+		}
+	}
+	tab := LatencyTable(res)
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "delay-local") {
+		t.Fatalf("table:\n%s", b.String())
+	}
+}
+
+func TestLatencyDefaultsApplied(t *testing.T) {
+	// The default 10000-update horizon is clamped for the latency study.
+	cfg := LatencyConfig{Config: Config{Items: 5, InitialAmount: 500}}
+	cfg.Config = cfg.Config.withDefaults()
+	cfg.Updates = 120
+	cfg.OneWay = time.Millisecond
+	res, err := RunLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.DelayLocal.Count() + res.DelayTransfer.Count() + res.Immediate.Count()
+	if total == 0 || total > 120 {
+		t.Fatalf("sample count = %d", total)
+	}
+}

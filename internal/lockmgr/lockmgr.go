@@ -1,0 +1,339 @@
+// Package lockmgr provides the shared/exclusive lock manager used for
+// strict two-phase locking in each site's local database and by the
+// Immediate-Update (primary-copy 2PC) participants.
+//
+// Locks are granted in FIFO order to prevent starvation, lock upgrades
+// (S -> X by the sole holder) are supported, waiters time out, and
+// deadlocks are detected eagerly by a waits-for-graph cycle search at
+// block time — the requester that would close the cycle is the victim
+// and gets ErrDeadlock.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String names the mode for diagnostics.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// TxnID identifies a lock owner (a transaction).
+type TxnID uint64
+
+// Lock manager errors.
+var (
+	ErrDeadlock = errors.New("lockmgr: deadlock detected")
+	ErrTimeout  = errors.New("lockmgr: lock wait timed out")
+)
+
+// Options configure a Manager.
+type Options struct {
+	// WaitTimeout bounds how long Acquire blocks when the caller's
+	// context has no deadline (default 5s).
+	WaitTimeout time.Duration
+}
+
+// Manager is a lock table. It is safe for concurrent use.
+type Manager struct {
+	opts Options
+
+	mu        sync.Mutex
+	locks     map[string]*lockState
+	held      map[TxnID]map[string]Mode // txn -> keys it holds
+	waitingOn map[TxnID]string          // txn -> key it is blocked on
+}
+
+type lockState struct {
+	holders map[TxnID]Mode
+	queue   []*waiter
+}
+
+type waiter struct {
+	txn      TxnID
+	mode     Mode
+	upgrade  bool
+	canceled bool
+	ready    chan struct{} // closed when granted
+}
+
+// New creates a Manager.
+func New(opts Options) *Manager {
+	if opts.WaitTimeout <= 0 {
+		opts.WaitTimeout = 5 * time.Second
+	}
+	return &Manager{
+		opts:      opts,
+		locks:     make(map[string]*lockState),
+		held:      make(map[TxnID]map[string]Mode),
+		waitingOn: make(map[TxnID]string),
+	}
+}
+
+// Acquire obtains key in mode for txn, blocking if necessary. It returns
+// nil on success, ErrDeadlock if granting would deadlock, ErrTimeout if
+// the wait exceeded the deadline, or the context's error.
+//
+// A transaction that already holds the key in the same or a stronger
+// mode returns immediately; holding Shared and requesting Exclusive
+// performs an upgrade.
+func (m *Manager) Acquire(ctx context.Context, txn TxnID, key string, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[key]
+	if ls == nil {
+		ls = &lockState{holders: make(map[TxnID]Mode)}
+		m.locks[key] = ls
+	}
+
+	if cur, ok := ls.holders[txn]; ok {
+		if cur >= mode {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade S -> X: immediate if sole holder.
+		if len(ls.holders) == 1 {
+			ls.holders[txn] = Exclusive
+			m.held[txn][key] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, ready: make(chan struct{})}
+		// Upgraders queue ahead of ordinary waiters.
+		ls.queue = append([]*waiter{w}, ls.queue...)
+		return m.block(ctx, ls, w, key)
+	}
+
+	if m.grantableLocked(ls, txn, mode) && len(ls.queue) == 0 {
+		m.grantLocked(ls, txn, key, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
+	ls.queue = append(ls.queue, w)
+	return m.block(ctx, ls, w, key)
+}
+
+// block waits for w to be granted. Called with m.mu held; releases it.
+func (m *Manager) block(ctx context.Context, ls *lockState, w *waiter, key string) error {
+	m.waitingOn[w.txn] = key
+	if m.cycleFromLocked(w.txn) {
+		delete(m.waitingOn, w.txn)
+		m.removeWaiterLocked(ls, w, key)
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.mu.Unlock()
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.opts.WaitTimeout)
+		defer cancel()
+	}
+	select {
+	case <-w.ready:
+		m.mu.Lock()
+		delete(m.waitingOn, w.txn)
+		m.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		delete(m.waitingOn, w.txn)
+		select {
+		case <-w.ready:
+			// Granted in the race window; the caller gets the lock after
+			// all (strict 2PL will release it with the rest).
+			m.mu.Unlock()
+			return nil
+		default:
+		}
+		w.canceled = true
+		m.removeWaiterLocked(ls, w, key)
+		m.pumpLocked(ls, key)
+		m.mu.Unlock()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return ErrTimeout
+		}
+		return ctx.Err()
+	}
+}
+
+// grantableLocked reports whether txn could hold key in mode alongside
+// the current holders (ignoring txn's own existing hold, for upgrades).
+func (m *Manager) grantableLocked(ls *lockState, txn TxnID, mode Mode) bool {
+	for holder, hmode := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// grantLocked records the grant.
+func (m *Manager) grantLocked(ls *lockState, txn TxnID, key string, mode Mode) {
+	ls.holders[txn] = mode
+	hk := m.held[txn]
+	if hk == nil {
+		hk = make(map[string]Mode)
+		m.held[txn] = hk
+	}
+	hk[key] = mode
+}
+
+// pumpLocked grants queued waiters in FIFO order while compatible.
+func (m *Manager) pumpLocked(ls *lockState, key string) {
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if w.canceled {
+			ls.queue = ls.queue[1:]
+			continue
+		}
+		if !m.grantableLocked(ls, w.txn, w.mode) {
+			return
+		}
+		ls.queue = ls.queue[1:]
+		m.grantLocked(ls, w.txn, key, w.mode)
+		close(w.ready)
+	}
+}
+
+// removeWaiterLocked deletes w from the queue if still present.
+func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter, key string) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// conflictersLocked returns the set of transactions that currently
+// prevent txn from acquiring key in mode: incompatible holders plus
+// incompatible waiters queued ahead of txn.
+func (m *Manager) conflictersLocked(txn TxnID, key string) map[TxnID]bool {
+	ls := m.locks[key]
+	if ls == nil {
+		return nil
+	}
+	var mode Mode = Exclusive
+	// Find txn's queued request to know its mode and position.
+	pos := len(ls.queue)
+	for i, w := range ls.queue {
+		if w.txn == txn {
+			mode = w.mode
+			pos = i
+			break
+		}
+	}
+	out := make(map[TxnID]bool)
+	for holder, hmode := range ls.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			out[holder] = true
+		}
+	}
+	for i := 0; i < pos; i++ {
+		w := ls.queue[i]
+		if w.txn == txn || w.canceled {
+			continue
+		}
+		if mode == Exclusive || w.mode == Exclusive {
+			out[w.txn] = true
+		}
+	}
+	return out
+}
+
+// cycleFromLocked reports whether the waits-for graph reachable from
+// start leads back to start.
+func (m *Manager) cycleFromLocked(start TxnID) bool {
+	visited := map[TxnID]bool{}
+	var dfs func(t TxnID) bool
+	dfs = func(t TxnID) bool {
+		key, blocked := m.waitingOn[t]
+		if !blocked {
+			return false
+		}
+		for c := range m.conflictersLocked(t, key) {
+			if c == start {
+				return true
+			}
+			if !visited[c] {
+				visited[c] = true
+				if dfs(c) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// Release drops txn's lock on key (if held) and wakes compatible waiters.
+func (m *Manager) Release(txn TxnID, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, key)
+}
+
+func (m *Manager) releaseLocked(txn TxnID, key string) {
+	ls := m.locks[key]
+	if ls == nil {
+		return
+	}
+	if _, ok := ls.holders[txn]; !ok {
+		return
+	}
+	delete(ls.holders, txn)
+	delete(m.held[txn], key)
+	m.pumpLocked(ls, key)
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// ReleaseAll drops every lock txn holds — the strict-2PL release at
+// commit or abort.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key := range m.held[txn] {
+		m.releaseLocked(txn, key)
+	}
+	delete(m.held, txn)
+}
+
+// Holds reports the mode txn holds on key, if any.
+func (m *Manager) Holds(txn TxnID, key string) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mode, ok := m.held[txn][key]
+	return mode, ok
+}
+
+// HeldKeys returns how many keys txn currently holds.
+func (m *Manager) HeldKeys(txn TxnID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[txn])
+}

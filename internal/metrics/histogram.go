@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram collects duration samples and reports distribution
+// statistics — used by the latency experiment to quantify the paper's
+// "real-time property" (update latency under injected network delay).
+// It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// sortLocked orders samples for quantile queries. Caller holds h.mu.
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank, or 0 for an empty histogram.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(p/100*float64(len(h.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Summary renders "p50=… p95=… p99=… max=… (n=…)".
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v (n=%d)",
+		h.Percentile(50).Round(time.Microsecond),
+		h.Percentile(95).Round(time.Microsecond),
+		h.Percentile(99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond),
+		h.Count())
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("empty histogram reports nonzero stats")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(5 * time.Millisecond)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 5*time.Millisecond {
+			t.Fatalf("p%.0f = %v", p, got)
+		}
+	}
+	if h.Mean() != 5*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(95); got != 95*time.Millisecond {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramUnorderedInsertion(t *testing.T) {
+	h := NewHistogram()
+	for _, ms := range []int{90, 10, 50, 30, 70} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	if got := h.Percentile(100); got != 90*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	// Observing after a quantile query re-sorts correctly.
+	h.Observe(95 * time.Millisecond)
+	if got := h.Max(); got != 95*time.Millisecond {
+		t.Fatalf("max after late insert = %v", got)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	s := h.Summary()
+	for _, want := range []string{"p50=", "p95=", "p99=", "max=", "n=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+				_ = h.Percentile(50)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}

@@ -1,0 +1,277 @@
+// Package metrics collects the quantities the paper reports: message
+// counts per site and per message kind, derived correspondence counts
+// (the paper's unit — 2 messages = 1 correspondence), and checkpointed
+// series such as "cumulative correspondences after N updates". It also
+// renders results as aligned text tables and CSV, which is how cmd/avsim
+// reproduces Fig. 6 and Table 1.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing concurrent counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n may be negative for adjustments,
+// though protocol counters only ever add).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry tracks message traffic for one system under test. Counters are
+// keyed by (site, kind) where kind names a protocol message class (for
+// example "av.request" or "iu.lock"). Registry is safe for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[key]*Counter
+}
+
+type key struct {
+	site int
+	kind string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[key]*Counter)}
+}
+
+// Counter returns (creating if needed) the counter for messages of the
+// given kind sent by the given site.
+func (r *Registry) Counter(site int, kind string) *Counter {
+	k := key{site, kind}
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[k] = c
+	return c
+}
+
+// MessagesBySite returns the total number of messages recorded per site.
+func (r *Registry) MessagesBySite() map[int]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[int]int64)
+	for k, c := range r.counters {
+		out[k.site] += c.Value()
+	}
+	return out
+}
+
+// MessagesByKind returns the total number of messages recorded per kind.
+func (r *Registry) MessagesByKind() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64)
+	for k, c := range r.counters {
+		out[k.kind] += c.Value()
+	}
+	return out
+}
+
+// TotalMessages returns the total number of messages recorded.
+func (r *Registry) TotalMessages() int64 {
+	var total int64
+	for _, v := range r.MessagesBySite() {
+		total += v
+	}
+	return total
+}
+
+// Correspondences converts a message count to the paper's unit:
+// 2 messages = 1 correspondence. Odd residues round up (a request whose
+// reply is still in flight is charged as a full correspondence).
+func Correspondences(messages int64) int64 {
+	return (messages + 1) / 2
+}
+
+// TotalCorrespondences returns the registry-wide correspondence count.
+func (r *Registry) TotalCorrespondences() int64 {
+	return Correspondences(r.TotalMessages())
+}
+
+// CorrespondencesBySite returns per-site correspondence counts.
+func (r *Registry) CorrespondencesBySite() map[int]int64 {
+	out := make(map[int]int64)
+	for site, msgs := range r.MessagesBySite() {
+		out[site] = Correspondences(msgs)
+	}
+	return out
+}
+
+// Reset zeroes every counter (the counters themselves survive, so cached
+// *Counter handles stay valid).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+}
+
+// Snapshot returns a copy of all (site, kind) -> count entries, sorted
+// for stable iteration by callers that render them.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Sample, 0, len(r.counters))
+	for k, c := range r.counters {
+		out = append(out, Sample{Site: k.site, Kind: k.kind, Count: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// Sample is one (site, kind, count) observation from a Registry snapshot.
+type Sample struct {
+	Site  int
+	Kind  string
+	Count int64
+}
+
+// Series records a y-value at increasing x checkpoints — e.g. cumulative
+// correspondences (y) after each block of updates (x). It is what Fig. 6
+// plots.
+type Series struct {
+	Name string
+	X    []int64
+	Y    []int64
+}
+
+// Append adds a checkpoint observation.
+func (s *Series) Append(x, y int64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of checkpoints.
+func (s *Series) Len() int { return len(s.X) }
+
+// Last returns the final y value, or 0 if the series is empty.
+func (s *Series) Last() int64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Table is a simple rectangular result table with row labels, used to
+// render Table 1 and the ablation studies both as aligned text and CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// WriteText renders the table with aligned columns to w.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (no quoting needed: cells are plain
+// labels and numbers).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SeriesTable renders one or more series sharing the same x checkpoints
+// as a Table with one x column and one column per series.
+func SeriesTable(title, xName string, series ...*Series) (*Table, error) {
+	t := &Table{Title: title, Columns: []string{xName}}
+	if len(series) == 0 {
+		return t, nil
+	}
+	n := series[0].Len()
+	for _, s := range series {
+		if s.Len() != n {
+			return nil, fmt.Errorf("metrics: series %q has %d points, want %d", s.Name, s.Len(), n)
+		}
+		t.Columns = append(t.Columns, s.Name)
+	}
+	for i := 0; i < n; i++ {
+		row := []string{fmt.Sprint(series[0].X[i])}
+		for _, s := range series {
+			if s.X[i] != series[0].X[i] {
+				return nil, fmt.Errorf("metrics: series %q x[%d]=%d misaligned with %d", s.Name, i, s.X[i], series[0].X[i])
+			}
+			row = append(row, fmt.Sprint(s.Y[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter value = %d", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("value = %d, want 8000", c.Value())
+	}
+}
+
+func TestRegistryAggregation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(0, "av.request").Add(3)
+	r.Counter(0, "av.grant").Add(3)
+	r.Counter(1, "av.request").Add(5)
+	bySite := r.MessagesBySite()
+	if bySite[0] != 6 || bySite[1] != 5 {
+		t.Fatalf("bySite = %v", bySite)
+	}
+	byKind := r.MessagesByKind()
+	if byKind["av.request"] != 8 || byKind["av.grant"] != 3 {
+		t.Fatalf("byKind = %v", byKind)
+	}
+	if r.TotalMessages() != 11 {
+		t.Fatalf("total = %d", r.TotalMessages())
+	}
+}
+
+func TestRegistryCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter(2, "x")
+	b := r.Counter(2, "x")
+	if a != b {
+		t.Fatal("same (site,kind) returned distinct counters")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("counter identity broken")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		site := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter(site, "m").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.TotalMessages() != 2000 {
+		t.Fatalf("total = %d, want 2000", r.TotalMessages())
+	}
+}
+
+func TestCorrespondences(t *testing.T) {
+	cases := []struct{ msgs, want int64 }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {100, 50},
+	}
+	for _, c := range cases {
+		if got := Correspondences(c.msgs); got != c.want {
+			t.Errorf("Correspondences(%d) = %d, want %d", c.msgs, got, c.want)
+		}
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(0, "m")
+	c.Add(9)
+	r.Reset()
+	if r.TotalMessages() != 0 {
+		t.Fatal("Reset did not zero totals")
+	}
+	c.Inc() // cached handle must remain live
+	if r.TotalMessages() != 1 {
+		t.Fatal("cached counter handle detached after Reset")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(1, "b").Inc()
+	r.Counter(0, "z").Inc()
+	r.Counter(1, "a").Inc()
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	want := []Sample{{0, "z", 1}, {1, "a", 1}, {1, "b", 1}}
+	for i, s := range snap {
+		if s != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 {
+		t.Fatal("empty series Last != 0")
+	}
+	s.Append(100, 7)
+	s.Append(200, 11)
+	if s.Len() != 2 || s.Last() != 11 {
+		t.Fatalf("len=%d last=%d", s.Len(), s.Last())
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := &Table{Title: "T", Columns: []string{"site", "count"}}
+	tab.AddRow("0", "123")
+	tab.AddRow("longsite", "4")
+	var b strings.Builder
+	if err := tab.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T\n", "site", "count", "longsite", "123"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var b strings.Builder
+	if err := tab.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := &Series{Name: "proposed"}
+	s2 := &Series{Name: "conventional"}
+	for i := int64(1); i <= 3; i++ {
+		s1.Append(i*1000, i)
+		s2.Append(i*1000, i*4)
+	}
+	tab, err := SeriesTable("fig6", "updates", s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Columns) != 3 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Rows[2][2] != "12" {
+		t.Fatalf("cell = %q, want 12", tab.Rows[2][2])
+	}
+}
+
+func TestSeriesTableMisaligned(t *testing.T) {
+	s1 := &Series{Name: "a"}
+	s2 := &Series{Name: "b"}
+	s1.Append(1, 1)
+	s2.Append(2, 1)
+	if _, err := SeriesTable("x", "n", s1, s2); err == nil {
+		t.Fatal("misaligned series not rejected")
+	}
+	s3 := &Series{Name: "c"}
+	if _, err := SeriesTable("x", "n", s1, s3); err == nil {
+		t.Fatal("length-mismatched series not rejected")
+	}
+}

@@ -1,0 +1,382 @@
+// Package replica implements the lazy convergence path for Delay
+// Updates. A committed Delay Update mutates only the local copy of the
+// datum; the delta is recorded in the site's outbound log and batched to
+// peers ("the result is propagated to all the system at the earliest" —
+// asynchronously, off the update's critical path).
+//
+// Because every update is a delta and deltas commute, each site's copy
+// equals the initial value plus the sum of all deltas it has applied —
+// a PN-counter. Exactly-once application is guaranteed by per-origin
+// sequence numbers: a receiver applies only the contiguous extension of
+// what it has already applied, so replays, reorderings and losses (the
+// sender retransmits from the last acknowledged sequence) are all safe.
+package replica
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"avdb/internal/storage"
+	"avdb/internal/transport"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// Metadata keys used by durable replicators (stored through the
+// engine's meta namespace, atomically with the data they describe).
+const (
+	metaLogPrefix     = "repl/log/"
+	metaAppliedPrefix = "repl/applied/"
+	metaFloorKey      = "repl/floor"
+)
+
+// metaLogKey pads the sequence so meta rows sort in log order.
+func metaLogKey(seq uint64) string {
+	return fmt.Sprintf("%s%020d", metaLogPrefix, seq)
+}
+
+// encodeLogValue serializes one outbound log entry's (key, delta).
+func encodeLogValue(key string, delta int64) []byte {
+	b := binary.AppendVarint(nil, delta)
+	return append(b, key...)
+}
+
+// decodeLogValue parses encodeLogValue output.
+func decodeLogValue(v []byte) (key string, delta int64, err error) {
+	delta, n := binary.Varint(v)
+	if n <= 0 {
+		return "", 0, fmt.Errorf("replica: corrupt log value")
+	}
+	return string(v[n:]), delta, nil
+}
+
+// Replicator manages one site's outbound delta log and the application
+// of other sites' deltas. It is safe for concurrent use.
+type Replicator struct {
+	origin  wire.SiteID
+	eng     *storage.Engine
+	durable bool
+
+	mu       sync.Mutex
+	log      []wire.Delta
+	firstSeq uint64                 // seq of log[0]; log is a contiguous suffix
+	applied  map[wire.SiteID]uint64 // remote origin -> highest seq applied here
+	acked    map[wire.SiteID]uint64 // peer -> highest of OUR seqs it acked
+}
+
+// New creates a volatile replicator for the site origin writing into
+// eng — correct for in-memory sites, whose whole state vanishes
+// together on restart.
+func New(origin wire.SiteID, eng *storage.Engine) *Replicator {
+	return &Replicator{
+		origin:   origin,
+		eng:      eng,
+		firstSeq: 1,
+		applied:  make(map[wire.SiteID]uint64),
+		acked:    make(map[wire.SiteID]uint64),
+	}
+}
+
+// NewDurable creates a replicator whose outbound log and per-origin
+// applied watermarks live in the engine's metadata namespace, written
+// atomically with the data they describe. A durable site therefore
+// survives restarts without double-applying retransmitted deltas
+// (watermark persists) and without losing committed-but-unpropagated
+// local deltas (log persists).
+func NewDurable(origin wire.SiteID, eng *storage.Engine) (*Replicator, error) {
+	r := New(origin, eng)
+	r.durable = true
+	// Recover the compaction floor.
+	if v, ok, err := eng.GetMeta(metaFloorKey); err != nil {
+		return nil, err
+	} else if ok {
+		floor, n := binary.Uvarint(v)
+		if n <= 0 {
+			return nil, fmt.Errorf("replica: corrupt floor")
+		}
+		r.firstSeq = floor
+	}
+	// Recover the outbound log.
+	var scanErr error
+	err := eng.ScanMeta(metaLogPrefix, func(k string, v []byte) bool {
+		seq, err := strconv.ParseUint(strings.TrimPrefix(k, metaLogPrefix), 10, 64)
+		if err != nil {
+			scanErr = fmt.Errorf("replica: corrupt log key %q", k)
+			return false
+		}
+		key, delta, err := decodeLogValue(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		want := r.firstSeq + uint64(len(r.log))
+		if seq != want {
+			scanErr = fmt.Errorf("replica: log gap: found seq %d, want %d", seq, want)
+			return false
+		}
+		r.log = append(r.log, wire.Delta{Seq: seq, Key: key, Amount: delta})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	// Recover applied watermarks.
+	err = eng.ScanMeta(metaAppliedPrefix, func(k string, v []byte) bool {
+		id, err := strconv.ParseUint(strings.TrimPrefix(k, metaAppliedPrefix), 10, 32)
+		if err != nil {
+			scanErr = fmt.Errorf("replica: corrupt applied key %q", k)
+			return false
+		}
+		upTo, n := binary.Uvarint(v)
+		if n <= 0 {
+			scanErr = fmt.Errorf("replica: corrupt applied value for %q", k)
+			return false
+		}
+		r.applied[wire.SiteID(id)] = upTo
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return r, nil
+}
+
+// Durable reports whether this replicator persists its state.
+func (r *Replicator) Durable() bool { return r.durable }
+
+// Record appends a locally committed delta to the outbound log and
+// returns its sequence number. Volatile replicators only — durable
+// callers must use CommitWithRecord so the log row lands in the same
+// storage batch as the data it describes.
+func (r *Replicator) Record(key string, delta int64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq := r.firstSeq + uint64(len(r.log))
+	r.log = append(r.log, wire.Delta{Seq: seq, Key: key, Amount: delta})
+	return seq
+}
+
+// NextSeq returns the sequence the next Record will get.
+func (r *Replicator) NextSeq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.firstSeq + uint64(len(r.log))
+}
+
+// CommitWithRecord commits tx — which must already hold the buffered
+// data write of (key, delta) — together with the outbound log entry,
+// and returns the entry's sequence. For volatile replicators the commit
+// and the in-memory log append simply happen back to back; for durable
+// ones the log row is part of the committed batch, so a crash can never
+// separate the update from its replication record.
+func (r *Replicator) CommitWithRecord(tx *txn.Txn, key string, delta int64) (uint64, error) {
+	if !r.durable {
+		if err := tx.Commit(); err != nil {
+			return 0, err
+		}
+		return r.Record(key, delta), nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seq := r.firstSeq + uint64(len(r.log))
+	if err := tx.PutMeta(metaLogKey(seq), encodeLogValue(key, delta)); err != nil {
+		return 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	r.log = append(r.log, wire.Delta{Seq: seq, Key: key, Amount: delta})
+	return seq, nil
+}
+
+// PendingFor returns the deltas peer has not acknowledged yet.
+func (r *Replicator) PendingFor(peer wire.SiteID) []wire.Delta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	from := r.acked[peer] + 1
+	if from < r.firstSeq {
+		// The log was compacted past entries the peer never acked; this
+		// cannot happen through Compact, which respects all acks.
+		from = r.firstSeq
+	}
+	idx := int(from - r.firstSeq)
+	if idx >= len(r.log) {
+		return nil
+	}
+	out := make([]wire.Delta, len(r.log)-idx)
+	copy(out, r.log[idx:])
+	return out
+}
+
+// Lag returns how many of our deltas peer has not acknowledged.
+func (r *Replicator) Lag(peer wire.SiteID) int {
+	return len(r.PendingFor(peer))
+}
+
+// AppliedFrom returns the highest sequence applied from origin.
+func (r *Replicator) AppliedFrom(origin wire.SiteID) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied[origin]
+}
+
+// HandleSync applies the contiguous new prefix of a peer's delta batch
+// and returns the cumulative acknowledgement. Already-applied entries
+// are skipped (idempotence); a gap stops application (the sender will
+// retransmit from our ack).
+func (r *Replicator) HandleSync(msg *wire.DeltaSync) (*wire.DeltaAck, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	high := r.applied[msg.Origin]
+	var ops []storage.Op
+	for _, d := range msg.Deltas {
+		if d.Seq <= high {
+			continue // duplicate
+		}
+		if d.Seq != high+1 {
+			break // gap: wait for retransmission
+		}
+		ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
+		high = d.Seq
+	}
+	if len(ops) > 0 {
+		if r.durable {
+			// The watermark commits in the same batch as the deltas, so
+			// a crash can never double-apply a retransmission.
+			wm := binary.AppendUvarint(nil, high)
+			ops = append(ops, storage.MetaPutOp(
+				fmt.Sprintf("%s%d", metaAppliedPrefix, msg.Origin), wm))
+		}
+		if err := r.eng.Apply(ops...); err != nil {
+			// All sites share the same schema seeded from the base DB, so
+			// a missing key is a real invariant violation, not a race.
+			return nil, fmt.Errorf("replica: apply batch from site %d: %w", msg.Origin, err)
+		}
+	}
+	r.applied[msg.Origin] = high
+	return &wire.DeltaAck{Origin: msg.Origin, UpTo: high}, nil
+}
+
+// HandleAck records a peer's cumulative acknowledgement of our log.
+func (r *Replicator) HandleAck(peer wire.SiteID, upTo uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if upTo > r.acked[peer] {
+		r.acked[peer] = upTo
+	}
+}
+
+// Flush pushes pending deltas to every peer synchronously and processes
+// their acks. Unreachable peers are skipped (their backlog is kept for
+// the next flush); the first unexpected error is returned after all
+// peers were attempted.
+func (r *Replicator) Flush(ctx context.Context, node transport.Node, peers []wire.SiteID) error {
+	var firstErr error
+	for _, peer := range peers {
+		pending := r.PendingFor(peer)
+		if len(pending) == 0 {
+			continue
+		}
+		reply, err := node.Call(ctx, peer, &wire.DeltaSync{Origin: r.origin, Deltas: pending})
+		if err != nil {
+			// Partition or crash: keep the backlog, try again later. This
+			// is the fault tolerance claim: Delay Updates committed during
+			// the partition flow out once it heals.
+			continue
+		}
+		ack, ok := reply.(*wire.DeltaAck)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica: unexpected reply %T from site %d", reply, peer)
+			}
+			continue
+		}
+		r.HandleAck(peer, ack.UpTo)
+	}
+	return firstErr
+}
+
+// Pull fetches pending deltas *from* every peer (the push direction is
+// Flush): each peer replies with the suffix of its log we have not yet
+// acknowledged; we apply it and acknowledge with a one-way DeltaAck.
+// After a Pull from all live peers, the local replica reflects every
+// update those peers had committed when they answered — the basis for
+// fresh reads. Unreachable peers are skipped.
+func (r *Replicator) Pull(ctx context.Context, node transport.Node, peers []wire.SiteID) error {
+	var firstErr error
+	for _, peer := range peers {
+		reply, err := node.Call(ctx, peer, &wire.SyncPull{})
+		if err != nil {
+			continue // partitioned/crashed peer: pull what we can reach
+		}
+		sync, ok := reply.(*wire.DeltaSync)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica: unexpected pull reply %T from site %d", reply, peer)
+			}
+			continue
+		}
+		ack, err := r.HandleSync(sync)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// Tell the peer what we now hold so its push path and Compact
+		// see the progress. Best effort: a lost ack only means a
+		// harmless retransmission later.
+		_ = node.Send(peer, ack)
+	}
+	return firstErr
+}
+
+// Compact drops log entries acknowledged by every peer in peers. It
+// must be called with the full peer set; entries a peer has not acked
+// are retained.
+func (r *Replicator) Compact(peers []wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.log) == 0 {
+		return
+	}
+	min := r.firstSeq + uint64(len(r.log)) - 1
+	for _, p := range peers {
+		if a := r.acked[p]; a < min {
+			min = a
+		}
+	}
+	if min < r.firstSeq {
+		return
+	}
+	drop := int(min - r.firstSeq + 1)
+	if r.durable {
+		ops := make([]storage.Op, 0, drop+1)
+		for seq := r.firstSeq; seq <= min; seq++ {
+			ops = append(ops, storage.MetaDeleteOp(metaLogKey(seq)))
+		}
+		ops = append(ops, storage.MetaPutOp(metaFloorKey, binary.AppendUvarint(nil, min+1)))
+		if err := r.eng.Apply(ops...); err != nil {
+			return // keep the uncompacted log; retry next time
+		}
+	}
+	r.log = append([]wire.Delta(nil), r.log[drop:]...)
+	r.firstSeq = min + 1
+}
+
+// LogLen returns the current outbound log length (for tests/metrics).
+func (r *Replicator) LogLen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.log)
+}

@@ -1,0 +1,149 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every workload generator and latency model in
+// avdb. Experiments must be exactly reproducible from a single seed, and
+// the generator must be splittable so that independent components (each
+// site's workload, the network latency model, ...) consume independent
+// streams that do not perturb each other when one component draws more or
+// fewer values.
+//
+// The implementation is SplitMix64 for seeding/splitting and
+// xoshiro256** for the main stream — both public-domain algorithms by
+// Blackman and Vigna. They are tiny, fast, and of far higher quality than
+// needed for workload generation.
+package rng
+
+import "math/bits"
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand seeds and to derive child generator states.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator. The zero value is not
+// valid; construct with New or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Any seed, including zero, is
+// valid: the state is expanded through SplitMix64 as the xoshiro authors
+// recommend, so similar seeds yield unrelated streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro requires a nonzero state; splitmix of any seed produces one
+	// with overwhelming probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new, statistically independent generator from r.
+// r advances, so successive Splits yield distinct children.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative int64.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	return int64(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids modulo bias without divisions in the
+// common case. n must be nonzero.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Range returns a uniform int64 in [lo, hi] inclusive. It panics if
+// lo > hi.
+func (r *Rand) Range(lo, hi int64) int64 {
+	if lo > hi {
+		panic("rng: Range called with lo > hi")
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n), like rand.Perm.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

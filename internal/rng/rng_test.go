@@ -1,0 +1,209 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded generator produced only %d distinct values", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first draw")
+	}
+	// Splitting must not depend on how much the child was used.
+	p1, p2 := New(7), New(7)
+	a := p1.Split()
+	_ = a.Uint64()
+	_ = a.Uint64()
+	b1 := p1.Split()
+	_ = p2.Split()
+	b2 := p2.Split()
+	if b1.Uint64() != b2.Uint64() {
+		t.Fatal("child usage perturbed parent stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := New(5)
+	sawLo, sawHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := r.Range(10, 13)
+		if v < 10 || v > 13 {
+			t.Fatalf("Range(10,13) = %d", v)
+		}
+		if v == 10 {
+			sawLo = true
+		}
+		if v == 13 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatalf("Range never hit an endpoint: lo=%v hi=%v", sawLo, sawHi)
+	}
+	if got := r.Range(5, 5); got != 5 {
+		t.Fatalf("Range(5,5) = %d", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(13)
+	const buckets = 10
+	const draws = 100000
+	counts := make([]int, buckets)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(buckets)]++
+	}
+	want := draws / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c-want)) > float64(want)/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", b, c, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint8) bool {
+		p := New(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(17)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: sum=%d", sum)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(19)
+	if r.Bool(0) {
+		t.Fatal("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Fatal("Bool(1) returned false")
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	if trues < 2000 || trues > 3000 {
+		t.Fatalf("Bool(0.25) true-rate %d/10000 implausible", trues)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

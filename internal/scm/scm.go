@@ -1,0 +1,175 @@
+// Package scm models the paper's motivating domain: a supply chain with
+// one maker and N retailers sharing an integrated stock database
+// (§1.1). It gives the abstract update streams business meaning:
+//
+//   - regular products are kept in stock at retailers; a customer order
+//     ships from the retailer's own stock — a Delay Update decrement
+//     whose real-time property the AV mechanism protects. If the shared
+//     stock cannot cover it, the retailer places a replenishment order
+//     with the maker (manufacture = increment at site 0) and retries.
+//   - non-regular products are made to order; the sale is recorded
+//     through Immediate Update so maker and retailer agree instantly.
+//
+// The package exercises exactly the code paths the accelerator provides
+// and is used by examples/scm and the mix experiments.
+package scm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"avdb/internal/cluster"
+	"avdb/internal/core"
+)
+
+// Market errors.
+var (
+	ErrUnknownProduct = errors.New("scm: unknown product")
+	ErrNotRetailer    = errors.New("scm: site is not a retailer")
+)
+
+// Outcome says how an order was satisfied.
+type Outcome int
+
+// Outcomes.
+const (
+	// FromStock: shipped straight from shared stock (Delay Update).
+	FromStock Outcome = iota
+	// Replenished: stock was insufficient; the maker manufactured a
+	// batch first, then the order shipped.
+	Replenished
+	// MadeToOrder: a non-regular product manufactured and sold under
+	// Immediate Update.
+	MadeToOrder
+	// Rejected: the order could not be satisfied.
+	Rejected
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case FromStock:
+		return "from-stock"
+	case Replenished:
+		return "replenished"
+	case MadeToOrder:
+		return "made-to-order"
+	default:
+		return "rejected"
+	}
+}
+
+// Config parameterizes a market.
+type Config struct {
+	// BatchSize is how much the maker manufactures per replenishment
+	// (default 10x the order quantity, min 100).
+	BatchSize int64
+}
+
+// Market wraps a cluster with supply-chain operations. Site 0 is the
+// maker; all other sites are retailers.
+type Market struct {
+	cfg Config
+	c   *cluster.Cluster
+
+	regular map[string]bool
+}
+
+// NewMarket wraps an existing cluster.
+func NewMarket(cfg Config, c *cluster.Cluster) *Market {
+	m := &Market{cfg: cfg, c: c, regular: make(map[string]bool)}
+	for _, k := range c.RegularKeys {
+		m.regular[k] = true
+	}
+	for _, k := range c.NonRegularKeys {
+		m.regular[k] = false
+	}
+	return m
+}
+
+// batchFor sizes a manufacturing batch for an order of qty.
+func (m *Market) batchFor(qty int64) int64 {
+	b := m.cfg.BatchSize
+	if b <= 0 {
+		b = 10 * qty
+		if b < 100 {
+			b = 100
+		}
+	}
+	if b < qty {
+		b = qty
+	}
+	return b
+}
+
+// CustomerOrder processes a customer buying qty of key at the given
+// retailer site.
+func (m *Market) CustomerOrder(ctx context.Context, retailer int, key string, qty int64) (Outcome, error) {
+	if retailer <= 0 || retailer >= len(m.c.Sites) {
+		return Rejected, fmt.Errorf("%w: site %d", ErrNotRetailer, retailer)
+	}
+	if qty <= 0 {
+		return Rejected, fmt.Errorf("scm: order quantity %d must be positive", qty)
+	}
+	isRegular, known := m.regular[key]
+	if !known {
+		return Rejected, fmt.Errorf("%w: %s", ErrUnknownProduct, key)
+	}
+
+	if !isRegular {
+		// Non-regular: manufacture to order, then sell — both strongly
+		// consistent so the maker's and retailer's books agree at once.
+		if _, err := m.c.Update(ctx, 0, key, m.batchFor(qty)); err != nil {
+			return Rejected, fmt.Errorf("scm: manufacture: %w", err)
+		}
+		if _, err := m.c.Update(ctx, retailer, key, -qty); err != nil {
+			return Rejected, fmt.Errorf("scm: made-to-order sale: %w", err)
+		}
+		return MadeToOrder, nil
+	}
+
+	// Regular: ship from stock via the Delay discipline.
+	_, err := m.c.Update(ctx, retailer, key, -qty)
+	if err == nil {
+		return FromStock, nil
+	}
+	if !errors.Is(err, core.ErrInsufficientAV) {
+		return Rejected, err
+	}
+	// Stock exhausted: order a batch from the maker, then retry once.
+	if _, err := m.c.Update(ctx, 0, key, m.batchFor(qty)); err != nil {
+		return Rejected, fmt.Errorf("scm: replenishment: %w", err)
+	}
+	if _, err := m.c.Update(ctx, retailer, key, -qty); err != nil {
+		return Rejected, fmt.Errorf("scm: sale after replenishment: %w", err)
+	}
+	return Replenished, nil
+}
+
+// Restock has the maker proactively manufacture qty of a regular
+// product (a Delay Update increment at site 0).
+func (m *Market) Restock(ctx context.Context, key string, qty int64) error {
+	if qty <= 0 {
+		return fmt.Errorf("scm: restock quantity %d must be positive", qty)
+	}
+	if isRegular, known := m.regular[key]; !known || !isRegular {
+		return fmt.Errorf("%w: %s (restock applies to regular products)", ErrUnknownProduct, key)
+	}
+	_, err := m.c.Update(ctx, 0, key, qty)
+	return err
+}
+
+// StockAt returns the stock of key as the given site currently sees it.
+func (m *Market) StockAt(site int, key string) (int64, error) {
+	return m.c.Read(site, key)
+}
+
+// IsMadeToOrder reports whether key is a non-regular product.
+func (m *Market) IsMadeToOrder(key string) bool {
+	isRegular, known := m.regular[key]
+	return known && !isRegular
+}
+
+// Cluster exposes the underlying cluster (for sync and metrics).
+func (m *Market) Cluster() *cluster.Cluster { return m.c }

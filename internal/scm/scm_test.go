@@ -1,0 +1,171 @@
+package scm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"avdb/internal/cluster"
+)
+
+func bg() context.Context { return context.Background() }
+
+func newMarket(t *testing.T, initial int64) *Market {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{
+		Sites:              3,
+		Items:              4,
+		InitialAmount:      initial,
+		NonRegularFraction: 0.5, // items 0,1 non-regular; 2,3 regular
+		CallTimeout:        time.Second,
+		LockTimeout:        500 * time.Millisecond,
+		PrepareTimeout:     500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return NewMarket(Config{}, c)
+}
+
+func TestOrderFromStock(t *testing.T) {
+	m := newMarket(t, 900)
+	key := m.Cluster().RegularKeys[0]
+	out, err := m.CustomerOrder(bg(), 1, key, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != FromStock {
+		t.Fatalf("outcome = %v", out)
+	}
+	if v, _ := m.StockAt(1, key); v != 850 {
+		t.Fatalf("stock = %d", v)
+	}
+}
+
+func TestOrderTriggersReplenishment(t *testing.T) {
+	m := newMarket(t, 30) // tiny stock: first decent order drains it
+	key := m.Cluster().RegularKeys[0]
+	out, err := m.CustomerOrder(bg(), 2, key, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Replenished {
+		t.Fatalf("outcome = %v", out)
+	}
+	// Batch (>= 100) minus the 40 shipped remains somewhere in the
+	// system; converge and check the global value.
+	m.Cluster().FlushAll(bg())
+	v, err := m.Cluster().ConvergedValue(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 30+400-40 { // batchFor(40) = 400
+		t.Fatalf("global stock = %d", v)
+	}
+	if err := m.Cluster().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMadeToOrder(t *testing.T) {
+	m := newMarket(t, 0)
+	key := m.Cluster().NonRegularKeys[0]
+	if !m.IsMadeToOrder(key) {
+		t.Fatal("classification lost")
+	}
+	out, err := m.CustomerOrder(bg(), 1, key, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != MadeToOrder {
+		t.Fatalf("outcome = %v", out)
+	}
+	// Immediate updates: every site agrees right away, no flush.
+	for i := 0; i < 3; i++ {
+		if v, _ := m.StockAt(i, key); v != 95 { // +100 batch, -5 sold
+			t.Fatalf("site %d stock = %d", i, v)
+		}
+	}
+}
+
+func TestRestock(t *testing.T) {
+	m := newMarket(t, 100)
+	key := m.Cluster().RegularKeys[0]
+	if err := m.Restock(bg(), key, 500); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.StockAt(0, key); v != 600 {
+		t.Fatalf("maker stock = %d", v)
+	}
+	// Restocking a made-to-order product is refused.
+	if err := m.Restock(bg(), m.Cluster().NonRegularKeys[0], 10); err == nil {
+		t.Fatal("restock of non-regular accepted")
+	}
+	if err := m.Restock(bg(), key, 0); err == nil {
+		t.Fatal("zero restock accepted")
+	}
+}
+
+func TestOrderValidation(t *testing.T) {
+	m := newMarket(t, 100)
+	key := m.Cluster().RegularKeys[0]
+	if _, err := m.CustomerOrder(bg(), 0, key, 1); err == nil {
+		t.Fatal("order at the maker accepted")
+	}
+	if _, err := m.CustomerOrder(bg(), 9, key, 1); err == nil {
+		t.Fatal("order at unknown site accepted")
+	}
+	if _, err := m.CustomerOrder(bg(), 1, "ghost", 1); err == nil {
+		t.Fatal("unknown product accepted")
+	}
+	if _, err := m.CustomerOrder(bg(), 1, key, 0); err == nil {
+		t.Fatal("zero quantity accepted")
+	}
+	if _, err := m.CustomerOrder(bg(), 1, key, -5); err == nil {
+		t.Fatal("negative quantity accepted")
+	}
+}
+
+func TestBatchSizing(t *testing.T) {
+	m := newMarket(t, 100)
+	if got := m.batchFor(5); got != 100 {
+		t.Fatalf("batchFor(5) = %d, want floor 100", got)
+	}
+	if got := m.batchFor(50); got != 500 {
+		t.Fatalf("batchFor(50) = %d", got)
+	}
+	m.cfg.BatchSize = 20
+	if got := m.batchFor(50); got != 50 {
+		t.Fatalf("batchFor must cover the order: %d", got)
+	}
+}
+
+func TestBusyDayEndsConsistent(t *testing.T) {
+	m := newMarket(t, 500)
+	keys := m.Cluster().RegularKeys
+	for i := 0; i < 200; i++ {
+		retailer := 1 + i%2
+		key := keys[i%len(keys)]
+		if _, err := m.CustomerOrder(bg(), retailer, key, int64(1+i%7)); err != nil {
+			t.Fatalf("order %d: %v", i, err)
+		}
+	}
+	if err := m.Cluster().FlushAll(bg()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cluster().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		FromStock: "from-stock", Replenished: "replenished",
+		MadeToOrder: "made-to-order", Rejected: "rejected",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %s", o, o.String())
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package site assembles one complete avdb site (Fig. 2 of the paper):
+// the local database engine with its transaction manager, the AV
+// management table, the accelerator, the Immediate-Update (2PC) engine,
+// the lazy replicator, and the network endpoint with its message
+// dispatch. A process embedding a Site gets the paper's full node; a
+// cluster of Sites on any transport is the paper's integrated system.
+package site
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"avdb/internal/av"
+	"avdb/internal/avstore"
+	"avdb/internal/clock"
+	"avdb/internal/core"
+	"avdb/internal/eventlog"
+	"avdb/internal/lockmgr"
+	"avdb/internal/replica"
+	"avdb/internal/storage"
+	"avdb/internal/strategy"
+	"avdb/internal/transport"
+	"avdb/internal/twopc"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// Config parameterizes a Site.
+type Config struct {
+	// ID is this site's identity; Base hosts the primary copy (the maker).
+	ID, Base wire.SiteID
+	// Peers lists every other site in the system.
+	Peers []wire.SiteID
+	// StorageDir is the data directory; empty runs in memory.
+	StorageDir string
+	// PersistAV journals the AV table under StorageDir/av so the site's
+	// allowable volume survives restarts (requires StorageDir).
+	PersistAV bool
+	// NoSync disables WAL fsync (experiments).
+	NoSync bool
+	// Policy is the AV selecting/deciding policy (default SODA99).
+	Policy strategy.Policy
+	// Passes bounds AV gathering passes per update.
+	Passes int
+	// Seed feeds policy randomness.
+	Seed uint64
+	// Demand optionally feeds a demand-aware deciding policy with the
+	// site's own consumption stream.
+	Demand core.DemandObserver
+	// DisableGossip turns off AV-view piggybacking (ablation A7).
+	DisableGossip bool
+	// Events, when non-nil, receives structured protocol events (inbound
+	// messages and update outcomes) for observability.
+	Events *eventlog.Log
+	// Clock drives the background loops (default the real clock; tests
+	// inject a clock.Virtual to step them deterministically).
+	Clock clock.Clock
+	// LockTimeout bounds local lock waits (default 2s).
+	LockTimeout time.Duration
+	// RequestTimeout bounds AV transfer calls.
+	RequestTimeout time.Duration
+	// PrepareTimeout bounds 2PC phases.
+	PrepareTimeout time.Duration
+	// FlushInterval, when > 0, starts a background loop that pushes the
+	// replication backlog every interval. Zero leaves flushing to the
+	// caller (deterministic experiments flush explicitly).
+	FlushInterval time.Duration
+	// SweepInterval, when > 0, starts a background loop that aborts
+	// expired prepared 2PC transactions.
+	SweepInterval time.Duration
+}
+
+// Site is one running node.
+type Site struct {
+	cfg   Config
+	eng   *storage.Engine
+	tm    *txn.Manager
+	avt   core.AVTable
+	avs   *avstore.Store // non-nil when PersistAV
+	iu    *twopc.Engine
+	repl  *replica.Replicator
+	accel *core.Accelerator
+	node  transport.Node
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	wg        sync.WaitGroup
+}
+
+// Open builds the site and registers it on the network.
+func Open(cfg Config, network transport.Network) (*Site, error) {
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	eng, err := storage.Open(storage.Options{Dir: cfg.StorageDir, NoSync: cfg.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	s := &Site{
+		cfg:  cfg,
+		eng:  eng,
+		stop: make(chan struct{}),
+	}
+	if cfg.PersistAV {
+		if cfg.StorageDir == "" {
+			eng.Close()
+			return nil, fmt.Errorf("site: PersistAV requires StorageDir")
+		}
+		avs, err := avstore.Open(filepath.Join(cfg.StorageDir, "av"), avstore.Options{NoSync: cfg.NoSync})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		s.avs = avs
+		s.avt = avs
+	} else {
+		s.avt = av.NewTable()
+	}
+	s.tm = txn.NewManager(eng, lockmgr.Options{WaitTimeout: cfg.LockTimeout})
+	s.iu = twopc.New(twopc.Options{
+		Site:           cfg.ID,
+		Base:           cfg.Base,
+		PrepareTimeout: cfg.PrepareTimeout,
+	}, s.tm)
+	if cfg.StorageDir != "" {
+		// A durable engine needs durable replication state, or a restart
+		// could double-apply retransmissions and lose unpropagated deltas.
+		s.repl, err = replica.NewDurable(cfg.ID, eng)
+		if err != nil {
+			if s.avs != nil {
+				s.avs.Close()
+			}
+			eng.Close()
+			return nil, err
+		}
+	} else {
+		s.repl = replica.New(cfg.ID, eng)
+	}
+	s.accel = core.New(core.Config{
+		Site:           cfg.ID,
+		Base:           cfg.Base,
+		Peers:          cfg.Peers,
+		Policy:         cfg.Policy,
+		Passes:         cfg.Passes,
+		RequestTimeout: cfg.RequestTimeout,
+		Seed:           cfg.Seed,
+		Demand:         cfg.Demand,
+		DisableGossip:  cfg.DisableGossip,
+	}, s.avt, s.tm, s.iu, s.repl)
+
+	node, err := network.Open(cfg.ID, s.handle)
+	if err != nil {
+		if s.avs != nil {
+			s.avs.Close()
+		}
+		eng.Close()
+		return nil, err
+	}
+	s.node = node
+	s.iu.SetNode(node)
+	s.accel.SetNode(node)
+
+	if cfg.FlushInterval > 0 {
+		s.wg.Add(1)
+		go s.flushLoop()
+	}
+	if cfg.SweepInterval > 0 {
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
+	return s, nil
+}
+
+// event records an observability event when a log is configured.
+func (s *Site) event(typ, key, format string, args ...any) {
+	if s.cfg.Events != nil {
+		s.cfg.Events.Appendf(s.cfg.ID, typ, key, format, args...)
+	}
+}
+
+// handle dispatches one inbound protocol message.
+func (s *Site) handle(from wire.SiteID, msg wire.Message) wire.Message {
+	if s.cfg.Events != nil {
+		key := ""
+		switch m := msg.(type) {
+		case *wire.AVRequest:
+			key = m.Key
+		case *wire.IUPrepare:
+			key = m.Key
+		case *wire.Read:
+			key = m.Key
+		}
+		s.event("recv."+msg.Kind().String(), key, "from=%d", from)
+	}
+	switch m := msg.(type) {
+	case *wire.AVRequest:
+		return s.accel.HandleAVRequest(from, m)
+	case *wire.IUPrepare:
+		return s.iu.HandlePrepare(from, m)
+	case *wire.IUDecision:
+		return s.iu.HandleDecision(from, m)
+	case *wire.DeltaSync:
+		ack, err := s.repl.HandleSync(m)
+		if err != nil {
+			// Report what we have applied; the sender keeps the backlog.
+			return &wire.DeltaAck{Origin: m.Origin, UpTo: s.repl.AppliedFrom(m.Origin)}
+		}
+		return ack
+	case *wire.DeltaAck:
+		// One-way ack from a peer that pulled our deltas.
+		s.repl.HandleAck(from, m.UpTo)
+		return nil
+	case *wire.SyncPull:
+		return &wire.DeltaSync{Origin: s.cfg.ID, Deltas: s.repl.PendingFor(from)}
+	case *wire.Read:
+		n, err := s.eng.Amount(m.Key)
+		return &wire.ReadReply{OK: err == nil, Value: n}
+	default:
+		return nil
+	}
+}
+
+// flushLoop pushes the replication backlog periodically.
+func (s *Site) flushLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.cfg.Clock.After(s.cfg.FlushInterval):
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FlushInterval)
+			_ = s.repl.Flush(ctx, s.node, s.cfg.Peers)
+			cancel()
+		}
+	}
+}
+
+// sweepLoop aborts expired prepared transactions periodically.
+func (s *Site) sweepLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.cfg.Clock.After(s.cfg.SweepInterval):
+			s.iu.Sweep(s.cfg.Clock.Now())
+		}
+	}
+}
+
+// Seed loads initial records (the paper's "all data are assumed to be
+// delivered to all the sites initially from the base").
+func (s *Site) Seed(recs ...storage.Record) error {
+	ops := make([]storage.Op, len(recs))
+	for i, r := range recs {
+		ops[i] = storage.PutOp(r)
+	}
+	return s.eng.Apply(ops...)
+}
+
+// DefineAV declares this site's initial allowable volume for key,
+// marking it a Delay-Update datum here.
+func (s *Site) DefineAV(key string, volume int64) error {
+	return s.avt.Define(key, volume)
+}
+
+// Update applies delta to key through the accelerator.
+func (s *Site) Update(ctx context.Context, key string, delta int64) (core.Result, error) {
+	res, err := s.accel.Update(ctx, key, delta)
+	if err != nil {
+		s.event("update.failed", key, "delta=%d err=%v", delta, err)
+	} else {
+		s.event("update."+res.Path.String(), key, "delta=%d rounds=%d transferred=%d",
+			delta, res.Rounds, res.Transferred)
+	}
+	return res, err
+}
+
+// Read returns the local value of key.
+func (s *Site) Read(key string) (int64, error) { return s.eng.Amount(key) }
+
+// ReadRemote fetches key's value as another site currently sees it.
+func (s *Site) ReadRemote(ctx context.Context, from wire.SiteID, key string) (int64, error) {
+	reply, err := s.node.Call(ctx, from, &wire.Read{Key: key})
+	if err != nil {
+		return 0, err
+	}
+	rr, ok := reply.(*wire.ReadReply)
+	if !ok || !rr.OK {
+		return 0, fmt.Errorf("site: remote read of %q failed", key)
+	}
+	return rr.Value, nil
+}
+
+// Flush pushes the replication backlog to all peers once.
+func (s *Site) Flush(ctx context.Context) error {
+	return s.repl.Flush(ctx, s.node, s.cfg.Peers)
+}
+
+// Pull fetches and applies every reachable peer's pending deltas — the
+// inverse of Flush. After Pull, this site's replica reflects all
+// updates committed at the answering peers.
+func (s *Site) Pull(ctx context.Context) error {
+	return s.repl.Pull(ctx, s.node, s.cfg.Peers)
+}
+
+// ReadFresh pulls from all reachable peers and then reads locally: an
+// up-to-date read without waiting for the lazy push cycle. (It is as
+// fresh as the moment each peer answered; concurrent updates may still
+// land afterwards — Immediate Update is the tool for reads that must
+// serialize with writers.)
+func (s *Site) ReadFresh(ctx context.Context, key string) (int64, error) {
+	if err := s.Pull(ctx); err != nil {
+		return 0, err
+	}
+	return s.Read(key)
+}
+
+// Sweep aborts expired prepared 2PC transactions now.
+func (s *Site) Sweep() int { return s.iu.Sweep(time.Now()) }
+
+// Maintain performs the periodic housekeeping a long-lived durable site
+// needs: compact the replication log past what every peer acknowledged,
+// checkpoint the storage engine (snapshot + WAL truncation), and
+// checkpoint the AV journal when one exists. Cheap no-ops on in-memory
+// sites.
+func (s *Site) Maintain() error {
+	s.repl.Compact(s.cfg.Peers)
+	if err := s.eng.Checkpoint(); err != nil {
+		return err
+	}
+	if s.avs != nil {
+		return s.avs.Checkpoint()
+	}
+	return nil
+}
+
+// Accessors for experiments, examples and tests.
+
+// ID returns the site's identity.
+func (s *Site) ID() wire.SiteID { return s.cfg.ID }
+
+// Engine returns the local storage engine.
+func (s *Site) Engine() *storage.Engine { return s.eng }
+
+// AV returns the AV table.
+func (s *Site) AV() core.AVTable { return s.avt }
+
+// Accelerator returns the accelerator.
+func (s *Site) Accelerator() *core.Accelerator { return s.accel }
+
+// Replicator returns the lazy replicator.
+func (s *Site) Replicator() *replica.Replicator { return s.repl }
+
+// TwoPC returns the Immediate-Update engine.
+func (s *Site) TwoPC() *twopc.Engine { return s.iu }
+
+// Close stops background loops, detaches from the network, and closes
+// the storage engine. Close is idempotent; repeated calls return the
+// first result.
+func (s *Site) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		if err := s.node.Close(); err != nil {
+			s.closeErr = err
+		}
+		if s.avs != nil {
+			if err := s.avs.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if err := s.eng.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}

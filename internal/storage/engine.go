@@ -1,0 +1,399 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"avdb/internal/btree"
+	"avdb/internal/wal"
+)
+
+const (
+	snapshotName = "snapshot.db"
+	snapshotTmp  = "snapshot.tmp"
+	snapMagic    = "AVDBSNP1"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Dir is the data directory. Empty means a purely in-memory engine
+	// (no WAL, no snapshots) — used by counting experiments where the
+	// durability path is not under measurement.
+	Dir string
+	// NoSync disables fsync on the WAL (passed through to wal.Options).
+	NoSync bool
+	// SegmentMaxBytes is passed through to wal.Options.
+	SegmentMaxBytes int64
+}
+
+// Engine is a site's local database. It is safe for concurrent use.
+type Engine struct {
+	opts Options
+
+	mu        sync.RWMutex
+	mem       *btree.Tree
+	metaCount int      // rows under MetaPrefix, excluded from Len and Scan
+	log       *wal.Log // nil when in-memory
+	closed    bool
+}
+
+// Open opens (or creates, or recovers) an engine.
+func Open(opts Options) (*Engine, error) {
+	e := &Engine{opts: opts, mem: &btree.Tree{}}
+	if opts.Dir == "" {
+		return e, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	snapLSN, err := e.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
+		NoSync:          opts.NoSync,
+		SegmentMaxBytes: opts.SegmentMaxBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.log = log
+	err = log.Replay(snapLSN+1, func(lsn uint64, payload []byte) error {
+		ops, err := decodeBatch(payload)
+		if err != nil {
+			return err
+		}
+		// Replay applies without validation: the batch was validated when
+		// first written, and partially-known state (post-snapshot deltas
+		// to rows created before the snapshot) must still apply.
+		e.applyLocked(ops)
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Get returns the record stored under key.
+func (e *Engine) Get(key string) (Record, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return Record{}, ErrClosed
+	}
+	v, ok := e.mem.Get(key)
+	if !ok {
+		return Record{}, ErrNotFound
+	}
+	var rec Record
+	if err := decodeValue(key, v, &rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Amount returns just the stock amount for key.
+func (e *Engine) Amount(key string) (int64, error) {
+	rec, err := e.Get(key)
+	if err != nil {
+		return 0, err
+	}
+	return rec.Amount, nil
+}
+
+// Len returns the number of user rows (metadata rows are excluded).
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mem.Len() - e.metaCount
+}
+
+// Scan calls fn for every record in key order until fn returns false.
+func (e *Engine) Scan(fn func(rec Record) bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	var decodeErr error
+	e.mem.Ascend(func(k string, v []byte) bool {
+		if len(k) >= len(MetaPrefix) && k[:len(MetaPrefix)] == MetaPrefix {
+			return true // metadata rows are not part of the user schema
+		}
+		var rec Record
+		if err := decodeValue(k, v, &rec); err != nil {
+			decodeErr = err
+			return false
+		}
+		return fn(rec)
+	})
+	return decodeErr
+}
+
+// Apply validates and applies a batch of mutations atomically: either
+// every op is applied (and logged as one WAL record) or none is. It is
+// the single write entry point — Put/Delete/ApplyDelta are conveniences
+// over it.
+func (e *Engine) Apply(ops ...Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	// Validate first so failures leave no partial state. A batch may
+	// legitimately put a row and then delta it, so track keys the batch
+	// itself creates or deletes.
+	created := map[string]bool{}
+	deleted := map[string]bool{}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpPut:
+			if op.Key == "" {
+				return fmt.Errorf("storage: empty key in put")
+			}
+			if len(op.Key) >= len(MetaPrefix) && op.Key[:len(MetaPrefix)] == MetaPrefix {
+				return fmt.Errorf("storage: user key %q collides with the metadata namespace", op.Key)
+			}
+			created[op.Key] = true
+			delete(deleted, op.Key)
+		case OpDelete:
+			deleted[op.Key] = true
+			delete(created, op.Key)
+		case OpDelta:
+			if deleted[op.Key] {
+				return fmt.Errorf("storage: delta to key %q deleted earlier in batch: %w", op.Key, ErrNotFound)
+			}
+			if created[op.Key] {
+				continue
+			}
+			if _, ok := e.mem.Get(op.Key); !ok {
+				return fmt.Errorf("storage: delta to %q: %w", op.Key, ErrNotFound)
+			}
+		case OpMetaPut, OpMetaDelete:
+			if op.Key == "" {
+				return fmt.Errorf("storage: empty meta key")
+			}
+		default:
+			return fmt.Errorf("storage: unknown op kind %d", op.Kind)
+		}
+	}
+	if e.log != nil {
+		if _, err := e.log.Append(encodeBatch(ops)); err != nil {
+			return err
+		}
+	}
+	e.applyLocked(ops)
+	return nil
+}
+
+// applyLocked applies pre-validated ops. Caller holds e.mu.
+func (e *Engine) applyLocked(ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpPut:
+			rec := op.Rec
+			rec.Key = op.Key
+			e.mem.Put(op.Key, encodeValue(&rec))
+		case OpDelete:
+			e.mem.Delete(op.Key)
+		case OpDelta:
+			v, ok := e.mem.Get(op.Key)
+			if !ok {
+				// Replay may delta rows that a later snapshot-era op
+				// created; in live operation validation prevents this.
+				continue
+			}
+			var rec Record
+			if decodeValue(op.Key, v, &rec) != nil {
+				continue
+			}
+			rec.Amount += op.Delta
+			e.mem.Put(op.Key, encodeValue(&rec))
+		case OpMetaPut:
+			if !e.mem.Put(MetaPrefix+op.Key, append([]byte(nil), op.Value...)) {
+				e.metaCount++
+			}
+		case OpMetaDelete:
+			if e.mem.Delete(MetaPrefix + op.Key) {
+				e.metaCount--
+			}
+		}
+	}
+}
+
+// GetMeta returns the raw metadata value stored under key.
+func (e *Engine) GetMeta(key string) ([]byte, bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, false, ErrClosed
+	}
+	v, ok := e.mem.Get(MetaPrefix + key)
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// ScanMeta calls fn for every metadata entry whose key starts with
+// prefix, in key order, until fn returns false.
+func (e *Engine) ScanMeta(prefix string, fn func(key string, value []byte) bool) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	from := MetaPrefix + prefix
+	e.mem.AscendRange(from, "", func(k string, v []byte) bool {
+		if len(k) < len(from) || k[:len(from)] != from {
+			return false // left the prefix range (meta sorts contiguously)
+		}
+		return fn(k[len(MetaPrefix):], v)
+	})
+	return nil
+}
+
+// Put inserts or replaces a record.
+func (e *Engine) Put(rec Record) error { return e.Apply(PutOp(rec)) }
+
+// Delete removes a record (no error if absent).
+func (e *Engine) Delete(key string) error { return e.Apply(DeleteOp(key)) }
+
+// ApplyDelta adds delta to key's Amount and returns the new amount.
+func (e *Engine) ApplyDelta(key string, delta int64) (int64, error) {
+	if err := e.Apply(DeltaOp(key, delta)); err != nil {
+		return 0, err
+	}
+	return e.Amount(key)
+}
+
+// Sync forces the WAL to stable storage.
+func (e *Engine) Sync() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.log == nil {
+		return nil
+	}
+	return e.log.Sync()
+}
+
+// Checkpoint writes a snapshot of the current table and truncates the
+// WAL below it. The snapshot records its LSN boundary and recovery
+// replays only records above it, so non-idempotent ops (deltas) are
+// never applied twice. The snapshot is written to a temp file and
+// renamed, so a crash during Checkpoint leaves a consistent pair.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.log == nil {
+		return nil
+	}
+	boundary := e.log.NextLSN() - 1 // everything <= boundary is in the snapshot
+	if err := e.writeSnapshotLocked(boundary); err != nil {
+		return err
+	}
+	return e.log.TruncateBefore(boundary + 1)
+}
+
+// writeSnapshotLocked dumps the table to disk atomically (temp + rename).
+func (e *Engine) writeSnapshotLocked(boundaryLSN uint64) error {
+	var body []byte
+	body = binary.LittleEndian.AppendUint64(body, boundaryLSN)
+	body = binary.AppendUvarint(body, uint64(e.mem.Len()))
+	e.mem.Ascend(func(k string, v []byte) bool {
+		body = binary.AppendUvarint(body, uint64(len(k)))
+		body = append(body, k...)
+		body = binary.AppendUvarint(body, uint64(len(v)))
+		body = append(body, v...)
+		return true
+	})
+	out := make([]byte, 0, len(snapMagic)+4+len(body))
+	out = append(out, snapMagic...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	out = append(out, body...)
+	tmp := filepath.Join(e.opts.Dir, snapshotTmp)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(e.opts.Dir, snapshotName))
+}
+
+// loadSnapshot loads the snapshot if present, returning its boundary LSN
+// (0 when there is no snapshot).
+func (e *Engine) loadSnapshot() (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(e.opts.Dir, snapshotName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: %w", err)
+	}
+	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	body := data[len(snapMagic)+4:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	if len(body) < 8 {
+		return 0, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	boundary := binary.LittleEndian.Uint64(body)
+	body = body[8:]
+	count, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: snapshot count", ErrCorrupt)
+	}
+	body = body[n:]
+	for i := uint64(0); i < count; i++ {
+		kLen, n := binary.Uvarint(body)
+		if n <= 0 || kLen > uint64(len(body)-n) {
+			return 0, fmt.Errorf("%w: snapshot key", ErrCorrupt)
+		}
+		key := string(body[n : n+int(kLen)])
+		body = body[n+int(kLen):]
+		vLen, n := binary.Uvarint(body)
+		if n <= 0 || vLen > uint64(len(body)-n) {
+			return 0, fmt.Errorf("%w: snapshot value", ErrCorrupt)
+		}
+		val := append([]byte(nil), body[n:n+int(vLen)]...)
+		body = body[n+int(vLen):]
+		if !e.mem.Put(key, val) &&
+			len(key) >= len(MetaPrefix) && key[:len(MetaPrefix)] == MetaPrefix {
+			e.metaCount++
+		}
+	}
+	return boundary, nil
+}
+
+// Close syncs and closes the engine.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}

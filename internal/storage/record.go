@@ -1,0 +1,215 @@
+// Package storage implements the local database engine each avdb site
+// runs: an ordered in-memory table (B+tree) with a write-ahead log and
+// snapshot checkpoints for crash recovery. The schema is the paper's SCM
+// table — product rows with a numeric stock amount and a regular /
+// non-regular classification (which is what decides Delay vs Immediate
+// update handling upstream).
+//
+// Mutations are applied in batches: one batch is one WAL record, so a
+// transaction's writes become durable and visible atomically.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Class is a product's consistency classification. In the paper, an AV
+// is defined exactly for the Regular products; NonRegular products take
+// the Immediate Update path.
+type Class uint8
+
+// Product classes.
+const (
+	Regular Class = iota
+	NonRegular
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == NonRegular {
+		return "non-regular"
+	}
+	return "regular"
+}
+
+// Record is one product row.
+type Record struct {
+	Key    string // primary key, e.g. "product-0042"
+	Name   string // display name
+	Amount int64  // stock amount — the numeric datum AVs are defined on
+	Class  Class
+}
+
+// Storage errors.
+var (
+	ErrNotFound = errors.New("storage: key not found")
+	ErrClosed   = errors.New("storage: engine closed")
+	ErrCorrupt  = errors.New("storage: corrupt data")
+)
+
+// encodeValue serializes the non-key fields of a record.
+func encodeValue(r *Record) []byte {
+	b := make([]byte, 0, 16+len(r.Name))
+	b = binary.AppendVarint(b, r.Amount)
+	b = append(b, byte(r.Class))
+	b = binary.AppendUvarint(b, uint64(len(r.Name)))
+	return append(b, r.Name...)
+}
+
+// decodeValue parses a value produced by encodeValue into rec.
+func decodeValue(key string, v []byte, rec *Record) error {
+	amount, n := binary.Varint(v)
+	if n <= 0 {
+		return ErrCorrupt
+	}
+	v = v[n:]
+	if len(v) < 1 {
+		return ErrCorrupt
+	}
+	class := Class(v[0])
+	v = v[1:]
+	nameLen, n := binary.Uvarint(v)
+	if n <= 0 || nameLen > uint64(len(v)-n) {
+		return ErrCorrupt
+	}
+	rec.Key = key
+	rec.Amount = amount
+	rec.Class = class
+	rec.Name = string(v[n : n+int(nameLen)])
+	return nil
+}
+
+// OpKind tags one mutation inside a batch.
+type OpKind uint8
+
+// Mutation kinds.
+const (
+	OpPut OpKind = iota + 1
+	OpDelete
+	OpDelta
+	OpMetaPut
+	OpMetaDelete
+)
+
+// MetaPrefix namespaces internal metadata rows (replication watermarks,
+// outbound delta logs) inside the same tree as user rows, so one Apply
+// batch can mutate data and metadata atomically — the property durable
+// replication correctness rests on. The prefix sorts before every user
+// key, and Scan/Len ignore it.
+const MetaPrefix = "\x00m\x00"
+
+// Op is one mutation. For OpPut, Rec carries the full row; for OpDelta,
+// Delta is added to the existing row's Amount; OpDelete removes the
+// row; OpMetaPut/OpMetaDelete store or remove a raw metadata value
+// under MetaPrefix+Key.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Rec   Record
+	Delta int64
+	Value []byte
+}
+
+// PutOp builds an OpPut.
+func PutOp(rec Record) Op { return Op{Kind: OpPut, Key: rec.Key, Rec: rec} }
+
+// DeleteOp builds an OpDelete.
+func DeleteOp(key string) Op { return Op{Kind: OpDelete, Key: key} }
+
+// DeltaOp builds an OpDelta.
+func DeltaOp(key string, delta int64) Op { return Op{Kind: OpDelta, Key: key, Delta: delta} }
+
+// MetaPutOp builds an OpMetaPut.
+func MetaPutOp(key string, value []byte) Op { return Op{Kind: OpMetaPut, Key: key, Value: value} }
+
+// MetaDeleteOp builds an OpMetaDelete.
+func MetaDeleteOp(key string) Op { return Op{Kind: OpMetaDelete, Key: key} }
+
+// encodeBatch serializes a batch of ops into one WAL payload.
+func encodeBatch(ops []Op) []byte {
+	b := make([]byte, 0, 32*len(ops))
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for i := range ops {
+		op := &ops[i]
+		b = append(b, byte(op.Kind))
+		b = binary.AppendUvarint(b, uint64(len(op.Key)))
+		b = append(b, op.Key...)
+		switch op.Kind {
+		case OpPut:
+			val := encodeValue(&op.Rec)
+			b = binary.AppendUvarint(b, uint64(len(val)))
+			b = append(b, val...)
+		case OpDelta:
+			b = binary.AppendVarint(b, op.Delta)
+		case OpMetaPut:
+			b = binary.AppendUvarint(b, uint64(len(op.Value)))
+			b = append(b, op.Value...)
+		case OpDelete, OpMetaDelete:
+			// key only
+		}
+	}
+	return b
+}
+
+// decodeBatch parses a WAL payload back into ops.
+func decodeBatch(b []byte) ([]Op, error) {
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	b = b[n:]
+	if count > uint64(len(b))+1 {
+		return nil, ErrCorrupt
+	}
+	ops := make([]Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 1 {
+			return nil, ErrCorrupt
+		}
+		kind := OpKind(b[0])
+		b = b[1:]
+		keyLen, n := binary.Uvarint(b)
+		if n <= 0 || keyLen > uint64(len(b)-n) {
+			return nil, ErrCorrupt
+		}
+		key := string(b[n : n+int(keyLen)])
+		b = b[n+int(keyLen):]
+		op := Op{Kind: kind, Key: key}
+		switch kind {
+		case OpPut:
+			valLen, n := binary.Uvarint(b)
+			if n <= 0 || valLen > uint64(len(b)-n) {
+				return nil, ErrCorrupt
+			}
+			if err := decodeValue(key, b[n:n+int(valLen)], &op.Rec); err != nil {
+				return nil, err
+			}
+			b = b[n+int(valLen):]
+		case OpDelta:
+			delta, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, ErrCorrupt
+			}
+			op.Delta = delta
+			b = b[n:]
+		case OpMetaPut:
+			valLen, n := binary.Uvarint(b)
+			if n <= 0 || valLen > uint64(len(b)-n) {
+				return nil, ErrCorrupt
+			}
+			op.Value = append([]byte(nil), b[n:n+int(valLen)]...)
+			b = b[n+int(valLen):]
+		case OpDelete, OpMetaDelete:
+			// nothing further
+		default:
+			return nil, fmt.Errorf("%w: op kind %d", ErrCorrupt, kind)
+		}
+		ops = append(ops, op)
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return ops, nil
+}

@@ -1,0 +1,103 @@
+package strategy
+
+import "sync"
+
+// Meter tracks a site's own consumption of AV per key as an
+// exponentially weighted moving average of the volume spent per local
+// decrement. A demand-aware donor uses it to predict how much slack it
+// should keep for its own customers before granting to peers —
+// a policy extension beyond the paper's fixed "half" rule.
+// Meter is safe for concurrent use.
+type Meter struct {
+	mu    sync.Mutex
+	alpha float64
+	rate  map[string]float64
+}
+
+// NewMeter creates a meter; alpha in (0, 1] is the EWMA weight of the
+// newest observation (default 0.2 when out of range).
+func NewMeter(alpha float64) *Meter {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.2
+	}
+	return &Meter{alpha: alpha, rate: make(map[string]float64)}
+}
+
+// Observe records that a local decrement consumed n units of key.
+func (m *Meter) Observe(key string, n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old, ok := m.rate[key]
+	if !ok {
+		m.rate[key] = float64(n)
+		return
+	}
+	m.rate[key] = (1-m.alpha)*old + m.alpha*float64(n)
+}
+
+// Rate returns the current demand estimate for key (0 if never seen).
+func (m *Meter) Rate(key string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rate[key]
+}
+
+// GrantDemandAware donates like GrantHalf but first sets aside enough
+// volume to cover Horizon of its own expected upcoming decrements for
+// the key. A donor with hot local demand gives little; a donor whose
+// stock sits idle gives generously.
+type GrantDemandAware struct {
+	// Meter is the donor's own consumption meter (required).
+	Meter *Meter
+	// Horizon is how many future local decrements to reserve for
+	// (default 4 when <= 0).
+	Horizon float64
+	// Key ties Grant calls to a demand stream: the decider receives only
+	// (avail, req), so the accelerator sets PerKey via the wrapper below.
+	key string
+}
+
+// Name implements Decider.
+func (g GrantDemandAware) Name() string { return "demand-aware" }
+
+// Request implements Decider.
+func (g GrantDemandAware) Request(shortage int64) int64 { return shortage }
+
+// Grant implements Decider.
+func (g GrantDemandAware) Grant(avail, req int64) int64 {
+	horizon := g.Horizon
+	if horizon <= 0 {
+		horizon = 4
+	}
+	var reserve int64
+	if g.Meter != nil {
+		reserve = int64(horizon * g.Meter.Rate(g.key))
+	}
+	free := avail - reserve
+	if free <= 0 {
+		return 0
+	}
+	grant := free / 2
+	if grant < req && free >= req {
+		grant = req
+	}
+	if grant > free {
+		grant = free
+	}
+	return grant
+}
+
+// ForKey returns a copy of the decider bound to one key's demand
+// stream. The accelerator calls this per request.
+func (g GrantDemandAware) ForKey(key string) Decider {
+	g.key = key
+	return g
+}
+
+// KeyedDecider is implemented by deciders whose grant depends on which
+// key is being requested (e.g. GrantDemandAware). The accelerator
+// detects it and binds the key before asking for a grant.
+type KeyedDecider interface {
+	Decider
+	ForKey(key string) Decider
+}

@@ -1,0 +1,110 @@
+package strategy
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestMeterEWMA(t *testing.T) {
+	m := NewMeter(0.5)
+	if m.Rate("k") != 0 {
+		t.Fatal("fresh meter has rate")
+	}
+	m.Observe("k", 100)
+	if m.Rate("k") != 100 {
+		t.Fatalf("first observation = %v", m.Rate("k"))
+	}
+	m.Observe("k", 0)
+	if m.Rate("k") != 50 {
+		t.Fatalf("after decay = %v", m.Rate("k"))
+	}
+	m.Observe("k", 50)
+	if m.Rate("k") != 50 {
+		t.Fatalf("steady = %v", m.Rate("k"))
+	}
+}
+
+func TestMeterBadAlphaDefaults(t *testing.T) {
+	for _, a := range []float64{-1, 0, 1.5} {
+		m := NewMeter(a)
+		m.Observe("k", 10)
+		if m.Rate("k") != 10 {
+			t.Fatalf("alpha %v: rate = %v", a, m.Rate("k"))
+		}
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	m := NewMeter(0.1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Observe("k", 10)
+				_ = m.Rate("k")
+			}
+		}()
+	}
+	wg.Wait()
+	if r := m.Rate("k"); r != 10 {
+		t.Fatalf("constant stream rate = %v", r)
+	}
+}
+
+func TestGrantDemandAwareReserves(t *testing.T) {
+	m := NewMeter(1) // rate == last observation
+	d := GrantDemandAware{Meter: m, Horizon: 4}
+	keyed := d.ForKey("hot").(GrantDemandAware)
+
+	// No demand yet: behaves like GrantHalf-with-top-up.
+	if got := keyed.Grant(100, 30); got != 50 {
+		t.Fatalf("idle grant = %d, want 50", got)
+	}
+	// Hot key: reserve 4 * 20 = 80, leaving 20 free; grant half of free
+	// unless the request fits.
+	m.Observe("hot", 20)
+	if got := keyed.Grant(100, 30); got != 10 {
+		t.Fatalf("hot grant = %d, want 10 (half of 100-80)", got)
+	}
+	if got := keyed.Grant(100, 15); got != 15 {
+		t.Fatalf("fitting request = %d, want 15", got)
+	}
+	// Demand exceeds holdings: give nothing.
+	m.Observe("hot", 50)
+	if got := keyed.Grant(100, 1); got != 0 {
+		t.Fatalf("starved grant = %d, want 0", got)
+	}
+	// The reservation is per-key: a cold key is unaffected.
+	cold := d.ForKey("cold")
+	if got := cold.Grant(100, 30); got != 50 {
+		t.Fatalf("cold grant = %d, want 50", got)
+	}
+}
+
+func TestGrantDemandAwareDefaults(t *testing.T) {
+	d := GrantDemandAware{} // nil meter, zero horizon
+	if d.Name() != "demand-aware" {
+		t.Fatal("name")
+	}
+	if d.Request(7) != 7 {
+		t.Fatal("request")
+	}
+	// free=100, half=50; the request (200) exceeds free, so the grant
+	// stays at half — never more than the donor can spare.
+	if got := d.Grant(100, 200); got != 50 {
+		t.Fatalf("nil-meter grant = %d, want 50", got)
+	}
+}
+
+func TestKeyedDeciderInterface(t *testing.T) {
+	var d Decider = GrantDemandAware{Meter: NewMeter(0.2)}
+	if _, ok := d.(KeyedDecider); !ok {
+		t.Fatal("GrantDemandAware must implement KeyedDecider")
+	}
+	var plain Decider = GrantHalf{}
+	if _, ok := plain.(KeyedDecider); ok {
+		t.Fatal("GrantHalf must not be keyed")
+	}
+}

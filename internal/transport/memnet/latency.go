@@ -1,0 +1,52 @@
+package memnet
+
+import (
+	"sync"
+	"time"
+
+	"avdb/internal/rng"
+	"avdb/internal/wire"
+)
+
+// Latency model constructors for Options.Latency. Real WANs are neither
+// uniform nor symmetric; these helpers let experiments model fixed
+// delay, jitter, and per-link asymmetry without hand-writing closures.
+
+// FixedLatency delays every message by d.
+func FixedLatency(d time.Duration) func(from, to wire.SiteID) time.Duration {
+	return func(from, to wire.SiteID) time.Duration { return d }
+}
+
+// JitteredLatency delays every message by base plus a uniform jitter in
+// [0, jitter), drawn from a seeded generator (deterministic per seed,
+// though delivery interleaving under concurrency is not).
+func JitteredLatency(base, jitter time.Duration, seed uint64) func(from, to wire.SiteID) time.Duration {
+	var mu sync.Mutex
+	r := rng.New(seed)
+	return func(from, to wire.SiteID) time.Duration {
+		if jitter <= 0 {
+			return base
+		}
+		mu.Lock()
+		j := time.Duration(r.Int63n(int64(jitter)))
+		mu.Unlock()
+		return base + j
+	}
+}
+
+// Link identifies a directed site pair.
+type Link struct {
+	From, To wire.SiteID
+}
+
+// PerLinkLatency delays each directed link by its entry in table,
+// falling back to def for unlisted links — e.g. a remote retailer
+// behind a slow line while the rest of the cluster is co-located.
+func PerLinkLatency(def time.Duration, table map[Link]time.Duration) func(from, to wire.SiteID) time.Duration {
+	return func(from, to wire.SiteID) time.Duration {
+		if d, ok := table[Link{From: from, To: to}]; ok {
+			return d
+		}
+		return def
+	}
+}

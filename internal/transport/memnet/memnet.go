@@ -1,0 +1,347 @@
+// Package memnet is an in-process implementation of transport.Network.
+// Messages are really encoded and decoded through the wire codec (so
+// every test exercises the protocol bytes), delivered through channels,
+// and optionally subjected to deterministic latency, probabilistic drops,
+// partitions and site crashes. memnet also records every message into a
+// metrics.Registry, attributing both directions of an exchange to the
+// *initiating* site — the attribution the paper uses for Table 1 ("number
+// of correspondences for update in each site").
+package memnet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"avdb/internal/metrics"
+	"avdb/internal/wire"
+
+	"avdb/internal/transport"
+)
+
+// Options configure a Net.
+type Options struct {
+	// Latency returns the one-way delivery delay from -> to. Nil means
+	// instantaneous delivery (the default for counting experiments).
+	Latency func(from, to wire.SiteID) time.Duration
+	// Drop returns true if this message should be lost. Nil never drops.
+	Drop func(from, to wire.SiteID, msg wire.Message) bool
+	// Registry receives message counts. Nil disables counting.
+	Registry *metrics.Registry
+	// QueueLen is the inbox depth per node (default 1024).
+	QueueLen int
+	// CallTimeout bounds Call when the caller's context has no deadline
+	// (default 5s).
+	CallTimeout time.Duration
+}
+
+// Net is an in-process network. The zero value is not usable; call New.
+type Net struct {
+	opts Options
+
+	mu        sync.RWMutex
+	nodes     map[wire.SiteID]*node
+	blocked   map[[2]wire.SiteID]bool
+	crashed   map[wire.SiteID]bool
+	deliverWG sync.WaitGroup
+}
+
+// New creates an empty network.
+func New(opts Options) *Net {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 1024
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 5 * time.Second
+	}
+	return &Net{
+		opts:    opts,
+		nodes:   make(map[wire.SiteID]*node),
+		blocked: make(map[[2]wire.SiteID]bool),
+		crashed: make(map[wire.SiteID]bool),
+	}
+}
+
+// Open implements transport.Network.
+func (n *Net) Open(id wire.SiteID, handler transport.Handler) (transport.Node, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[id]; ok {
+		return nil, fmt.Errorf("memnet: site %d already open", id)
+	}
+	nd := &node{
+		net:     n,
+		id:      id,
+		handler: handler,
+		inbox:   make(chan []byte, n.opts.QueueLen),
+		pending: make(map[uint64]chan wire.Message),
+		done:    make(chan struct{}),
+	}
+	n.nodes[id] = nd
+	nd.wg.Add(1)
+	go nd.loop()
+	return nd, nil
+}
+
+// Block makes traffic between a and b (both directions) disappear.
+func (n *Net) Block(a, b wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]wire.SiteID{a, b}] = true
+	n.blocked[[2]wire.SiteID{b, a}] = true
+}
+
+// Unblock restores traffic between a and b.
+func (n *Net) Unblock(a, b wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]wire.SiteID{a, b})
+	delete(n.blocked, [2]wire.SiteID{b, a})
+}
+
+// Isolate blocks traffic between id and every other currently open site —
+// a single-site partition.
+func (n *Net) Isolate(id wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.nodes {
+		if other != id {
+			n.blocked[[2]wire.SiteID{id, other}] = true
+			n.blocked[[2]wire.SiteID{other, id}] = true
+		}
+	}
+}
+
+// Heal removes every partition.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]wire.SiteID]bool)
+}
+
+// Crash makes a site drop all inbound and outbound traffic until Restart.
+// The node stays open (its goroutine keeps running) — this models a hung
+// or unreachable process, not a clean shutdown.
+func (n *Net) Crash(id wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restart undoes Crash.
+func (n *Net) Restart(id wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// reachable reports whether a message from -> to would currently be
+// delivered, ignoring probabilistic drops.
+func (n *Net) reachable(from, to wire.SiteID) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.crashed[from] || n.crashed[to] {
+		return false
+	}
+	if n.blocked[[2]wire.SiteID{from, to}] {
+		return false
+	}
+	_, ok := n.nodes[to]
+	return ok
+}
+
+// count attributes one message to the exchange's initiator: the sender
+// for requests, the destination for replies.
+func (n *Net) count(env *wire.Envelope) {
+	if n.opts.Registry == nil {
+		return
+	}
+	site := env.From
+	if env.IsReply {
+		site = env.To
+	}
+	n.opts.Registry.Counter(int(site), env.Msg.Kind().String()).Inc()
+}
+
+// send encodes and routes one envelope. It returns transport.ErrUnreachable
+// if the destination is partitioned, crashed or absent. The message is
+// counted when it is put on the wire, even if later dropped.
+func (n *Net) send(env *wire.Envelope) error {
+	if !n.reachable(env.From, env.To) {
+		return transport.ErrUnreachable
+	}
+	n.count(env)
+	if n.opts.Drop != nil && n.opts.Drop(env.From, env.To, env.Msg) {
+		return nil // silently lost
+	}
+	raw := wire.EncodeEnvelope(env)
+	deliver := func() {
+		defer n.deliverWG.Done()
+		n.mu.RLock()
+		dst, ok := n.nodes[env.To]
+		crashed := n.crashed[env.To]
+		n.mu.RUnlock()
+		if !ok || crashed {
+			return
+		}
+		select {
+		case dst.inbox <- raw:
+		case <-dst.done:
+		}
+	}
+	n.deliverWG.Add(1)
+	if n.opts.Latency == nil {
+		deliver()
+		return nil
+	}
+	d := n.opts.Latency(env.From, env.To)
+	if d <= 0 {
+		deliver()
+		return nil
+	}
+	time.AfterFunc(d, deliver)
+	return nil
+}
+
+// Quiesce blocks until every in-flight delivery has been handed to its
+// destination inbox. It does not wait for handlers to finish processing.
+func (n *Net) Quiesce() { n.deliverWG.Wait() }
+
+// node is one site's endpoint.
+type node struct {
+	net     *Net
+	id      wire.SiteID
+	handler transport.Handler
+	inbox   chan []byte
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan wire.Message
+	closed  bool
+}
+
+// ID implements transport.Node.
+func (nd *node) ID() wire.SiteID { return nd.id }
+
+// loop dispatches inbound envelopes: replies are matched to pending
+// calls; requests are handled in their own goroutine so a slow handler
+// (for example a 2PC participant waiting on a lock) cannot stall the
+// node's reply matching.
+func (nd *node) loop() {
+	defer nd.wg.Done()
+	for {
+		select {
+		case <-nd.done:
+			return
+		case raw := <-nd.inbox:
+			env, err := wire.DecodeEnvelope(raw)
+			if err != nil {
+				continue // corrupt frame: drop, as a real transport would
+			}
+			if env.IsReply {
+				nd.mu.Lock()
+				ch := nd.pending[env.Seq]
+				delete(nd.pending, env.Seq)
+				nd.mu.Unlock()
+				if ch != nil {
+					ch <- env.Msg
+				}
+				continue
+			}
+			go nd.serve(env)
+		}
+	}
+}
+
+// serve runs the handler for one request and sends back its reply.
+func (nd *node) serve(env *wire.Envelope) {
+	reply := nd.handler(env.From, env.Msg)
+	if reply == nil {
+		return
+	}
+	_ = nd.net.send(&wire.Envelope{
+		From:    nd.id,
+		To:      env.From,
+		Seq:     env.Seq,
+		IsReply: true,
+		Msg:     reply,
+	})
+}
+
+// Call implements transport.Node.
+func (nd *node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	nd.seq++
+	seq := nd.seq
+	ch := make(chan wire.Message, 1)
+	nd.pending[seq] = ch
+	nd.mu.Unlock()
+
+	unregister := func() {
+		nd.mu.Lock()
+		delete(nd.pending, seq)
+		nd.mu.Unlock()
+	}
+
+	err := nd.net.send(&wire.Envelope{From: nd.id, To: to, Seq: seq, Msg: req})
+	if err != nil {
+		unregister()
+		return nil, err
+	}
+
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, nd.net.opts.CallTimeout)
+		defer cancel()
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		unregister()
+		if ctx.Err() == context.DeadlineExceeded {
+			return nil, transport.ErrTimeout
+		}
+		return nil, ctx.Err()
+	case <-nd.done:
+		unregister()
+		return nil, transport.ErrClosed
+	}
+}
+
+// Send implements transport.Node.
+func (nd *node) Send(to wire.SiteID, msg wire.Message) error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return transport.ErrClosed
+	}
+	nd.seq++
+	seq := nd.seq
+	nd.mu.Unlock()
+	return nd.net.send(&wire.Envelope{From: nd.id, To: to, Seq: seq, Msg: msg})
+}
+
+// Close implements transport.Node.
+func (nd *node) Close() error {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return nil
+	}
+	nd.closed = true
+	nd.mu.Unlock()
+	close(nd.done)
+	nd.wg.Wait()
+	nd.net.mu.Lock()
+	delete(nd.net.nodes, nd.id)
+	nd.net.mu.Unlock()
+	return nil
+}

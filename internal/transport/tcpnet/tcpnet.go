@@ -1,0 +1,342 @@
+// Package tcpnet implements transport.Node over real TCP connections,
+// so an avdb site can run as its own OS process (cmd/avnode) and a
+// cluster can span machines. Frames are length-prefixed wire envelopes;
+// every frame travels over a connection dialed toward its destination
+// (accepted connections are read-only), which keeps the write path a
+// simple per-peer mutex and makes reconnection after a peer restart
+// automatic.
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"avdb/internal/transport"
+	"avdb/internal/wire"
+)
+
+// maxFrame bounds a frame to keep a corrupt length prefix from
+// allocating gigabytes.
+const maxFrame = 16 << 20
+
+// Config parameterizes a TCP node.
+type Config struct {
+	// ID is this site's identity.
+	ID wire.SiteID
+	// Listen is the address to accept peers on (e.g. "127.0.0.1:7000";
+	// ":0" picks a free port — read it back with Addr).
+	Listen string
+	// Peers maps site IDs to addresses. More can be added with AddPeer.
+	Peers map[wire.SiteID]string
+	// DialTimeout bounds connection establishment (default 2s).
+	DialTimeout time.Duration
+	// CallTimeout bounds Call when the context has no deadline
+	// (default 5s).
+	CallTimeout time.Duration
+}
+
+// Node is one site's TCP endpoint.
+type Node struct {
+	cfg     Config
+	handler transport.Handler
+	ln      net.Listener
+
+	mu       sync.Mutex
+	peers    map[wire.SiteID]string
+	conns    map[wire.SiteID]*peerConn
+	accepted map[net.Conn]struct{}
+	pending  map[uint64]chan wire.Message
+	seq      uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// peerConn is an outgoing connection with a write lock.
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Open starts listening and returns the node.
+func Open(cfg Config, handler transport.Handler) (*Node, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		handler:  handler,
+		ln:       ln,
+		peers:    make(map[wire.SiteID]string),
+		conns:    make(map[wire.SiteID]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+		pending:  make(map[uint64]chan wire.Message),
+	}
+	for id, addr := range cfg.Peers {
+		n.peers[id] = addr
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID implements transport.Node.
+func (n *Node) ID() wire.SiteID { return n.cfg.ID }
+
+// Addr returns the bound listen address (useful with ":0").
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// AddPeer registers (or updates) a peer's address.
+func (n *Node) AddPeer(id wire.SiteID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+	delete(n.conns, id) // force re-dial at the new address
+}
+
+// acceptLoop accepts inbound connections and spawns readers.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames from one inbound connection.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.accepted, conn)
+		n.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return // protocol violation: drop the connection
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		env, err := wire.DecodeEnvelope(buf)
+		if err != nil {
+			continue // corrupt frame: skip
+		}
+		if env.IsReply {
+			n.mu.Lock()
+			ch := n.pending[env.Seq]
+			delete(n.pending, env.Seq)
+			n.mu.Unlock()
+			if ch != nil {
+				ch <- env.Msg
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go func(env *wire.Envelope) {
+			defer n.wg.Done()
+			reply := n.handler(env.From, env.Msg)
+			if reply == nil {
+				return
+			}
+			_ = n.send(&wire.Envelope{
+				From: n.cfg.ID, To: env.From, Seq: env.Seq, IsReply: true, Msg: reply,
+			})
+		}(env)
+	}
+}
+
+// getConn returns a live outgoing connection to peer, dialing if needed.
+func (n *Node) getConn(to wire.SiteID) (*peerConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if pc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no address for site %d", transport.ErrUnreachable, to)
+	}
+	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
+	}
+	pc := &peerConn{conn: conn}
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		// Lost the race; use the winner and drop ours.
+		n.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	n.conns[to] = pc
+	n.mu.Unlock()
+	// Replies addressed to us may come back over this same connection
+	// if the peer chooses to, so read from it too.
+	n.wg.Add(1)
+	go n.readLoop(conn)
+	return pc, nil
+}
+
+// dropConn forgets a broken connection.
+func (n *Node) dropConn(to wire.SiteID, pc *peerConn) {
+	n.mu.Lock()
+	if n.conns[to] == pc {
+		delete(n.conns, to)
+	}
+	n.mu.Unlock()
+	pc.conn.Close()
+}
+
+// send frames and writes one envelope, redialing once on a stale
+// connection.
+func (n *Node) send(env *wire.Envelope) error {
+	payload := wire.EncodeEnvelope(env)
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, err := n.getConn(env.To)
+		if err != nil {
+			return err
+		}
+		pc.mu.Lock()
+		_, err = pc.conn.Write(frame)
+		pc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		n.dropConn(env.To, pc)
+	}
+	return fmt.Errorf("%w: write to site %d failed", transport.ErrUnreachable, env.To)
+}
+
+// Call implements transport.Node.
+func (n *Node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	n.seq++
+	seq := n.seq
+	ch := make(chan wire.Message, 1)
+	n.pending[seq] = ch
+	n.mu.Unlock()
+
+	unregister := func() {
+		n.mu.Lock()
+		delete(n.pending, seq)
+		n.mu.Unlock()
+	}
+	if err := n.send(&wire.Envelope{From: n.cfg.ID, To: to, Seq: seq, Msg: req}); err != nil {
+		unregister()
+		return nil, err
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.cfg.CallTimeout)
+		defer cancel()
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		unregister()
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, transport.ErrTimeout
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// Send implements transport.Node.
+func (n *Node) Send(to wire.SiteID, msg wire.Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return transport.ErrClosed
+	}
+	n.seq++
+	seq := n.seq
+	n.mu.Unlock()
+	return n.send(&wire.Envelope{From: n.cfg.ID, To: to, Seq: seq, Msg: msg})
+}
+
+// Close implements transport.Node.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	conns := n.conns
+	n.conns = make(map[wire.SiteID]*peerConn)
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Network adapts per-process TCP nodes to the transport.Network
+// interface so site.Open can use them: each Open call must match the
+// configured ID.
+type Network struct {
+	Cfg Config
+}
+
+// Open implements transport.Network. id must equal Cfg.ID.
+func (nw *Network) Open(id wire.SiteID, handler transport.Handler) (transport.Node, error) {
+	if id != nw.Cfg.ID {
+		return nil, fmt.Errorf("tcpnet: network configured for site %d, asked to open %d", nw.Cfg.ID, id)
+	}
+	return Open(nw.Cfg, handler)
+}

@@ -1,0 +1,287 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"avdb/internal/site"
+	"avdb/internal/storage"
+	"avdb/internal/transport"
+	"avdb/internal/wire"
+)
+
+func echo(from wire.SiteID, msg wire.Message) wire.Message {
+	if r, ok := msg.(*wire.Read); ok {
+		return &wire.ReadReply{OK: true, Value: int64(len(r.Key))}
+	}
+	return nil
+}
+
+// pair opens two wired-up nodes on loopback.
+func pair(t *testing.T, h1, h2 transport.Handler) (*Node, *Node) {
+	t.Helper()
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0"}, h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n1.Close() })
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0"}, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n2.Close() })
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr())
+	return n1, n2
+}
+
+func TestCallOverTCP(t *testing.T) {
+	n1, _ := pair(t, echo, echo)
+	reply, err := n1.Call(context.Background(), 2, &wire.Read{Key: "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.(*wire.ReadReply).Value != 5 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	n1, n2 := pair(t, echo, echo)
+	for i := 0; i < 20; i++ {
+		if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "ab"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n2.Call(context.Background(), 1, &wire.Read{Key: "abcd"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentCallsOverTCP(t *testing.T) {
+	n1, _ := pair(t, echo, echo)
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				reply, err := n1.Call(context.Background(), 2, &wire.Read{Key: "xyz"})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if reply.(*wire.ReadReply).Value != 3 {
+					errs <- errors.New("bad value")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownPeer(t *testing.T) {
+	n1, _ := pair(t, echo, echo)
+	if _, err := n1.Call(context.Background(), 9, &wire.Read{Key: "x"}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadPeerUnreachable(t *testing.T) {
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0", DialTimeout: 200 * time.Millisecond}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n1.AddPeer(2, "127.0.0.1:1") // nothing listens there
+	if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "x"}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPeerRestartReconnects(t *testing.T) {
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0", DialTimeout: 300 * time.Millisecond}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0"}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr()) // replies travel over dialed connections
+	if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "ab"}); err != nil {
+		t.Fatal(err)
+	}
+	addr := n2.Addr()
+	n2.Close()
+	// Peer down: calls fail.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	_, err = n1.Call(ctx, 2, &wire.Read{Key: "ab"})
+	cancel()
+	if err == nil {
+		t.Fatal("call to dead peer succeeded")
+	}
+	// Peer comes back on the same address: transparent reconnect.
+	n3, err := Open(Config{ID: 2, Listen: addr}, echo)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer n3.Close()
+	n3.AddPeer(1, n1.Addr())
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "ab"}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reconnected to restarted peer")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClosedNodeRejects(t *testing.T) {
+	n1, _ := pair(t, echo, echo)
+	n1.Close()
+	if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "x"}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := n1.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestNetworkAdapterIDCheck(t *testing.T) {
+	nw := &Network{Cfg: Config{ID: 3, Listen: "127.0.0.1:0"}}
+	if _, err := nw.Open(4, echo); err == nil {
+		t.Fatal("mismatched ID accepted")
+	}
+	node, err := nw.Open(3, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+}
+
+// TestFullSitesOverTCP runs a real 3-site avdb cluster over loopback
+// TCP: immediate updates, delay updates with AV transfer, and lazy
+// convergence, all through genuine sockets.
+func TestFullSitesOverTCP(t *testing.T) {
+	const n = 3
+	// Stage 1: open the TCP nodes first so every address is known before
+	// any site exists. Each node's handler indirects through a slot that
+	// is filled in once its site is assembled.
+	nodes := make([]*Node, n)
+	sites := make([]*site.Site, n)
+	handlers := make([]transport.Handler, n)
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		idx := i
+		h := func(from wire.SiteID, msg wire.Message) wire.Message {
+			mu.Lock()
+			hh := handlers[idx]
+			mu.Unlock()
+			if hh == nil {
+				return nil
+			}
+			return hh(from, msg)
+		}
+		node, err := Open(Config{ID: wire.SiteID(i), Listen: "127.0.0.1:0"}, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer node.Close()
+		nodes[i] = node
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nodes[i].AddPeer(wire.SiteID(j), nodes[j].Addr())
+			}
+		}
+	}
+	// Stage 2: site.Open handles assembly via the Network interface; use
+	// single-node adapters bound to the pre-opened nodes.
+	for i := 0; i < n; i++ {
+		idx := i
+		adapter := networkFunc(func(id wire.SiteID, handler transport.Handler) (transport.Node, error) {
+			mu.Lock()
+			handlers[idx] = handler
+			mu.Unlock()
+			return nodes[idx], nil
+		})
+		var peers []wire.SiteID
+		for p := 0; p < n; p++ {
+			if p != i {
+				peers = append(peers, wire.SiteID(p))
+			}
+		}
+		s, err := site.Open(site.Config{
+			ID: wire.SiteID(i), Base: 0, Peers: peers,
+			LockTimeout: time.Second, PrepareTimeout: time.Second,
+		}, adapter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sites[i] = s
+		if err := s.Seed(
+			storage.Record{Key: "reg", Amount: 900, Class: storage.Regular},
+			storage.Record{Key: "non", Amount: 100, Class: storage.NonRegular},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DefineAV("reg", 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx := context.Background()
+	// Delay local.
+	if _, err := sites[1].Update(ctx, "reg", -100); err != nil {
+		t.Fatal(err)
+	}
+	// Delay with transfer over TCP.
+	if res, err := sites[1].Update(ctx, "reg", -400); err != nil {
+		t.Fatal(err)
+	} else if res.Rounds == 0 {
+		t.Fatal("expected AV transfer rounds over TCP")
+	}
+	// Immediate over TCP.
+	if _, err := sites[2].Update(ctx, "non", -30); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if v, _ := sites[i].Read("non"); v != 70 {
+			t.Fatalf("site %d non = %d", i, v)
+		}
+	}
+	// Converge the delay updates.
+	for i := 0; i < n; i++ {
+		if err := sites[i].Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, _ := sites[i].Read("reg"); v != 400 {
+			t.Fatalf("site %d reg = %d", i, v)
+		}
+	}
+}
+
+// networkFunc adapts a function to transport.Network.
+type networkFunc func(id wire.SiteID, handler transport.Handler) (transport.Node, error)
+
+func (f networkFunc) Open(id wire.SiteID, handler transport.Handler) (transport.Node, error) {
+	return f(id, handler)
+}

@@ -1,0 +1,55 @@
+// Package transport defines how avdb sites talk to each other. A Network
+// hands out one Node per site; a Node offers synchronous request/reply
+// Calls (every protocol exchange in the paper is a request/reply pair —
+// AV request/grant, prepare/vote, decision/ack, central update/reply) and
+// fire-and-forget Sends.
+//
+// Two implementations exist: memnet (in-process, deterministic, with
+// latency/drop/partition injection — used by all experiments and tests)
+// and tcpnet (real TCP between processes — used by cmd/avnode).
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"avdb/internal/wire"
+)
+
+// Transport errors.
+var (
+	// ErrUnreachable is returned when the destination is partitioned away,
+	// crashed, or unknown.
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrClosed is returned after a node has been closed.
+	ErrClosed = errors.New("transport: node closed")
+	// ErrTimeout is returned when a Call's context expires before the
+	// reply arrives.
+	ErrTimeout = errors.New("transport: call timed out")
+)
+
+// Handler processes one inbound request and returns the reply message.
+// Returning nil sends no reply (the caller's Call will time out, so nil
+// is only appropriate for one-way traffic delivered via Send). Handlers
+// may be invoked concurrently and must be safe for concurrent use.
+type Handler func(from wire.SiteID, msg wire.Message) wire.Message
+
+// Node is one site's endpoint on the network.
+type Node interface {
+	// ID returns the site this node belongs to.
+	ID() wire.SiteID
+	// Call sends req to site to and blocks until the reply arrives, the
+	// context is done, or the destination is known to be unreachable.
+	Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error)
+	// Send delivers msg to site to without waiting for a reply.
+	Send(to wire.SiteID, msg wire.Message) error
+	// Close detaches the node from the network and releases resources.
+	Close() error
+}
+
+// Network creates nodes. Implementations must allow each site ID to be
+// opened at most once at a time.
+type Network interface {
+	// Open registers handler for site id and returns its node.
+	Open(id wire.SiteID, handler Handler) (Node, error)
+}

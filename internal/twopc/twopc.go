@@ -1,0 +1,289 @@
+// Package twopc implements the paper's Immediate Update (Fig. 5): a
+// primary-copy two-phase commit for the data with no Allowable Volume
+// defined (non-regular products), where maker and retailer both demand
+// strong consistency.
+//
+// The requesting site's accelerator acts as the coordinator: it locks
+// and tentatively applies the update locally, sends IUPrepare to every
+// other site simultaneously, collects ready votes, then distributes the
+// commit/abort decision. Per the paper, "the requesting accelerator
+// judges the completion of the update with the message from the
+// accelerator at the base" — so completion requires the base site's
+// acknowledgement of the commit decision.
+//
+// Participants hold prepared transactions (with their locks, via strict
+// 2PL) in a table with a deadline; an expired prepared transaction is
+// presumed aborted and swept, so a crashed coordinator cannot wedge a
+// site forever.
+package twopc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avdb/internal/storage"
+	"avdb/internal/transport"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// Immediate Update errors.
+var (
+	// ErrAborted reports that the update was aborted (a vote failed or a
+	// participant was unreachable during prepare).
+	ErrAborted = errors.New("twopc: update aborted")
+	// ErrCompletionUnknown reports that the commit decision was taken and
+	// applied locally, but the base site's acknowledgement did not arrive;
+	// the data will converge when the base processes the decision, but
+	// the paper's completion condition is unmet.
+	ErrCompletionUnknown = errors.New("twopc: committed but base acknowledgement missing")
+)
+
+// Validator approves or rejects the tentative result of an update at a
+// site. rec is the record before the update; newAmount the amount after.
+type Validator func(rec storage.Record, newAmount int64) error
+
+// NonNegative is the default validator: stock may not go below zero.
+func NonNegative(rec storage.Record, newAmount int64) error {
+	if newAmount < 0 {
+		return fmt.Errorf("amount %d would become negative (%d)", rec.Amount, newAmount)
+	}
+	return nil
+}
+
+// Options configure an Engine.
+type Options struct {
+	// Site is this engine's site ID.
+	Site wire.SiteID
+	// Base is the site hosting the primary copy (site 0 in the paper).
+	Base wire.SiteID
+	// Validate approves tentative updates (default NonNegative).
+	Validate Validator
+	// PrepareTimeout bounds each remote prepare/decision call
+	// (default 2s).
+	PrepareTimeout time.Duration
+	// PreparedTTL is how long a participant holds a prepared transaction
+	// before presuming abort (default 10s).
+	PreparedTTL time.Duration
+}
+
+// Engine runs both coordinator and participant roles for one site.
+type Engine struct {
+	opts Options
+	tm   *txn.Manager
+	node transport.Node
+
+	next atomic.Uint64
+
+	mu       sync.Mutex
+	prepared map[uint64]*preparedTxn
+}
+
+type preparedTxn struct {
+	tx       *txn.Txn
+	deadline time.Time
+}
+
+// New creates an Engine over tm. Call SetNode before coordinating.
+func New(opts Options, tm *txn.Manager) *Engine {
+	if opts.Validate == nil {
+		opts.Validate = NonNegative
+	}
+	if opts.PrepareTimeout <= 0 {
+		opts.PrepareTimeout = 2 * time.Second
+	}
+	if opts.PreparedTTL <= 0 {
+		opts.PreparedTTL = 10 * time.Second
+	}
+	return &Engine{opts: opts, tm: tm, prepared: make(map[uint64]*preparedTxn)}
+}
+
+// SetNode attaches the transport endpoint (done after the network opens).
+func (e *Engine) SetNode(n transport.Node) { e.node = n }
+
+// newTxnID builds a cluster-unique transaction ID.
+func (e *Engine) newTxnID() uint64 {
+	return uint64(e.opts.Site)<<40 | e.next.Add(1)
+}
+
+// Update coordinates one Immediate Update of key by delta across peers
+// (every other site). On success the update is applied at every site.
+func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, delta int64) error {
+	txnID := e.newTxnID()
+
+	// Local tentative apply under lock — the coordinator is also the
+	// first participant.
+	local := e.tm.Begin()
+	if err := e.tentative(ctx, local, key, delta); err != nil {
+		local.Abort()
+		return fmt.Errorf("%w: local prepare: %v", ErrAborted, err)
+	}
+
+	// Phase 1: prepare everywhere, simultaneously (paper: "it also sends
+	// the lock request to the other accelerators simultaneously").
+	type voteResult struct {
+		peer wire.SiteID
+		ok   bool
+		why  string
+	}
+	votes := make(chan voteResult, len(peers))
+	for _, p := range peers {
+		go func(p wire.SiteID) {
+			cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
+			defer cancel()
+			reply, err := e.node.Call(cctx, p, &wire.IUPrepare{
+				TxnID: txnID, Coord: e.opts.Site, Key: key, Delta: delta,
+			})
+			if err != nil {
+				votes <- voteResult{peer: p, ok: false, why: err.Error()}
+				return
+			}
+			v, ok := reply.(*wire.IUVote)
+			if !ok {
+				votes <- voteResult{peer: p, ok: false, why: fmt.Sprintf("bad reply %T", reply)}
+				return
+			}
+			votes <- voteResult{peer: p, ok: v.OK, why: v.Reason}
+		}(p)
+	}
+	allOK := true
+	var reason string
+	for range peers {
+		v := <-votes
+		if !v.ok && allOK {
+			allOK = false
+			reason = fmt.Sprintf("site %d: %s", v.peer, v.why)
+		}
+	}
+
+	// Phase 2: decide.
+	if !allOK {
+		local.Abort()
+		e.broadcastDecision(ctx, peers, txnID, false, nil)
+		return fmt.Errorf("%w: %s", ErrAborted, reason)
+	}
+	if err := local.Commit(); err != nil {
+		// Local commit of a validated, locked batch cannot fail in normal
+		// operation; treat it as a global abort to stay safe.
+		e.broadcastDecision(ctx, peers, txnID, false, nil)
+		return fmt.Errorf("%w: local commit: %v", ErrAborted, err)
+	}
+	baseAcked := e.opts.Base == e.opts.Site // self-ack when we host the base
+	e.broadcastDecision(ctx, peers, txnID, true, func(p wire.SiteID, ok bool) {
+		if p == e.opts.Base && ok {
+			baseAcked = true
+		}
+	})
+	if !baseAcked {
+		return ErrCompletionUnknown
+	}
+	return nil
+}
+
+// broadcastDecision distributes the decision and reports each ack via
+// onAck (which may be nil). It waits for all peers (bounded by
+// PrepareTimeout each, in parallel).
+func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txnID uint64, commit bool, onAck func(p wire.SiteID, ok bool)) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p wire.SiteID) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
+			defer cancel()
+			reply, err := e.node.Call(cctx, p, &wire.IUDecision{TxnID: txnID, Commit: commit})
+			ok := false
+			if err == nil {
+				if a, isAck := reply.(*wire.IUAck); isAck {
+					ok = a.OK
+				}
+			}
+			if onAck != nil {
+				mu.Lock()
+				onAck(p, ok)
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// tentative locks key, applies delta in tx, and validates the result.
+func (e *Engine) tentative(ctx context.Context, tx *txn.Txn, key string, delta int64) error {
+	before, err := tx.Get(ctx, key)
+	if err != nil {
+		return err
+	}
+	after, err := tx.ApplyDelta(ctx, key, delta)
+	if err != nil {
+		return err
+	}
+	return e.opts.Validate(before, after)
+}
+
+// HandlePrepare is the participant's phase-1 handler.
+func (e *Engine) HandlePrepare(from wire.SiteID, msg *wire.IUPrepare) *wire.IUVote {
+	ctx, cancel := context.WithTimeout(context.Background(), e.opts.PrepareTimeout)
+	defer cancel()
+	tx := e.tm.Begin()
+	if err := e.tentative(ctx, tx, msg.Key, msg.Delta); err != nil {
+		tx.Abort()
+		return &wire.IUVote{TxnID: msg.TxnID, OK: false, Reason: err.Error()}
+	}
+	e.mu.Lock()
+	e.prepared[msg.TxnID] = &preparedTxn{tx: tx, deadline: time.Now().Add(e.opts.PreparedTTL)}
+	e.mu.Unlock()
+	return &wire.IUVote{TxnID: msg.TxnID, OK: true}
+}
+
+// HandleDecision is the participant's phase-2 handler.
+func (e *Engine) HandleDecision(from wire.SiteID, msg *wire.IUDecision) *wire.IUAck {
+	e.mu.Lock()
+	p := e.prepared[msg.TxnID]
+	delete(e.prepared, msg.TxnID)
+	e.mu.Unlock()
+	if p == nil {
+		// Unknown transaction: presumed abort. Acknowledging an abort is
+		// safe; acknowledging a commit we never prepared is not.
+		return &wire.IUAck{TxnID: msg.TxnID, OK: !msg.Commit}
+	}
+	if msg.Commit {
+		if err := p.tx.Commit(); err != nil {
+			return &wire.IUAck{TxnID: msg.TxnID, OK: false}
+		}
+		return &wire.IUAck{TxnID: msg.TxnID, OK: true}
+	}
+	p.tx.Abort()
+	return &wire.IUAck{TxnID: msg.TxnID, OK: true}
+}
+
+// Sweep aborts prepared transactions whose deadline has passed (presumed
+// abort after a coordinator failure) and returns how many were swept.
+// Sites call it periodically.
+func (e *Engine) Sweep(now time.Time) int {
+	e.mu.Lock()
+	var victims []*preparedTxn
+	for id, p := range e.prepared {
+		if now.After(p.deadline) {
+			victims = append(victims, p)
+			delete(e.prepared, id)
+		}
+	}
+	e.mu.Unlock()
+	for _, p := range victims {
+		p.tx.Abort()
+	}
+	return len(victims)
+}
+
+// PreparedCount reports how many transactions are currently prepared.
+func (e *Engine) PreparedCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.prepared)
+}

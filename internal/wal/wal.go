@@ -1,0 +1,370 @@
+// Package wal implements a segmented write-ahead log: the durability
+// substrate under each site's local database. Records are opaque byte
+// payloads framed with a length and a CRC-32 checksum; the log assigns
+// dense, monotonically increasing LSNs starting at 1.
+//
+// The log is split into segment files named wal-<firstLSN>.seg so that
+// TruncateBefore (after a storage checkpoint) can drop whole files, and
+// so that recovery knows each segment's starting LSN without an index.
+// A torn final record (from a crash mid-append) is tolerated at the tail
+// of the last segment only; corruption anywhere else is an error.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Log errors.
+var (
+	ErrClosed    = errors.New("wal: log closed")
+	ErrCorrupt   = errors.New("wal: corrupt record")
+	ErrShortRead = errors.New("wal: torn record at tail")
+)
+
+const (
+	headerSize        = 8 // u32 length + u32 crc
+	defaultSegmentMax = 4 << 20
+	segPrefix         = "wal-"
+	segSuffix         = ".seg"
+)
+
+// Options tune a Log.
+type Options struct {
+	// SegmentMaxBytes rotates to a new segment once the current one
+	// exceeds this size (default 4 MiB).
+	SegmentMaxBytes int64
+	// NoSync skips fsync on Sync calls. Experiments that only need the
+	// code path (not durability against power loss) set this for speed.
+	NoSync bool
+}
+
+// Log is a segmented write-ahead log. It is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	closed   bool
+	nextLSN  uint64 // LSN the next Append will receive
+	firstLSN uint64 // smallest LSN still present (1 if never truncated)
+	cur      *os.File
+	curFirst uint64 // first LSN of the current segment
+	curSize  int64
+}
+
+// Open opens (or creates) a log in dir.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentMaxBytes <= 0 {
+		opts.SegmentMaxBytes = defaultSegmentMax
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1, firstLSN: 1}
+	segs, err := l.segments()
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.rotateLocked(1); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	l.firstLSN = segs[0].first
+	// Scan the last segment to find the next LSN and truncate a torn tail.
+	last := segs[len(segs)-1]
+	n, validBytes, err := scanSegment(last.path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l.cur = f
+	l.curFirst = last.first
+	l.curSize = validBytes
+	l.nextLSN = last.first + n
+	// Count records in earlier segments to sanity-check continuity.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].first <= segs[i].first {
+			return nil, fmt.Errorf("wal: segment order corrupt: %d then %d", segs[i].first, segs[i+1].first)
+		}
+	}
+	return l, nil
+}
+
+type segInfo struct {
+	first uint64
+	path  string
+}
+
+// segments lists segment files sorted by first LSN.
+func (l *Log) segments() ([]segInfo, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		numStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(numStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segInfo{first: first, path: filepath.Join(l.dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+func segName(first uint64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+// rotateLocked closes the current segment and starts a new one whose
+// first record will carry LSN first. Caller holds l.mu.
+func (l *Log) rotateLocked(first uint64) error {
+	if l.cur != nil {
+		if err := l.cur.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(first)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	l.cur = f
+	l.curFirst = first
+	l.curSize = 0
+	return nil
+}
+
+// Append writes payload as the next record and returns its LSN. The
+// record is buffered by the OS; call Sync to force it to stable storage.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.curSize >= l.opts.SegmentMaxBytes {
+		if err := l.rotateLocked(l.nextLSN); err != nil {
+			return 0, err
+		}
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := l.cur.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := l.cur.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	l.curSize += int64(headerSize + len(payload))
+	lsn := l.nextLSN
+	l.nextLSN++
+	return lsn, nil
+}
+
+// Sync flushes the current segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.opts.NoSync {
+		return nil
+	}
+	return l.cur.Sync()
+}
+
+// NextLSN returns the LSN the next Append will be assigned.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// FirstLSN returns the smallest LSN still retained.
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstLSN
+}
+
+// Replay calls fn for every record with LSN >= from, in order. fn
+// returning an error stops the replay and returns that error.
+func (l *Log) Replay(from uint64, fn func(lsn uint64, payload []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	// Flush buffered writes so the read-side sees them.
+	segs, err := l.segments()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for i, seg := range segs {
+		lastSeg := i == len(segs)-1
+		err := replaySegment(seg.path, seg.first, lastSeg, from, fn)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's records through fn.
+func replaySegment(path string, first uint64, tolerateTorn bool, from uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	lsn := first
+	var hdr [headerSize]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			if tolerateTorn {
+				return nil
+			}
+			return ErrShortRead
+		}
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTorn && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return ErrShortRead
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if tolerateTorn {
+				return nil // torn write inside the final record
+			}
+			return ErrCorrupt
+		}
+		if lsn >= from {
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+		}
+		lsn++
+	}
+}
+
+// scanSegment validates a segment and returns the number of intact
+// records and the byte offset after the last intact record.
+func scanSegment(path string) (records uint64, validBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return records, validBytes, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return records, validBytes, nil // torn header
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("wal: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, validBytes, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return records, validBytes, nil // torn/corrupt tail record
+		}
+		records++
+		validBytes += int64(headerSize) + int64(length)
+	}
+}
+
+// TruncateBefore drops whole segments whose records all have LSN < lsn.
+// It never splits a segment, so some records below lsn may survive; the
+// caller (storage checkpointing) only relies on "everything >= lsn is
+// still present".
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		// A segment is fully below lsn iff the next segment starts at or
+		// below lsn (segment i spans [first_i, first_{i+1}-1]).
+		if segs[i+1].first <= lsn {
+			if err := os.Remove(segs[i].path); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			l.firstLSN = segs[i+1].first
+		} else {
+			break
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if !l.opts.NoSync {
+		if err := l.cur.Sync(); err != nil {
+			l.cur.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return l.cur.Close()
+}

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) (*Log, string) {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, dir
+}
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64][]byte {
+	t.Helper()
+	got := map[uint64][]byte{}
+	err := l.Replay(from, func(lsn uint64, p []byte) error {
+		got[lsn] = append([]byte(nil), p...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestAppendAssignsDenseLSNs(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	for i := 1; i <= 10; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if l.NextLSN() != 11 {
+		t.Fatalf("NextLSN = %d", l.NextLSN())
+	}
+}
+
+func TestReplayReturnsWrites(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	want := map[uint64][]byte{}
+	for i := 1; i <= 50; i++ {
+		p := []byte(fmt.Sprintf("payload %d", i))
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[lsn] = p
+	}
+	got := collect(t, l, 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for lsn, p := range want {
+		if !bytes.Equal(got[lsn], p) {
+			t.Fatalf("lsn %d: %q != %q", lsn, got[lsn], p)
+		}
+	}
+}
+
+func TestReplayFromOffset(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	for i := 1; i <= 20; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	got := collect(t, l, 15)
+	if len(got) != 6 {
+		t.Fatalf("got %d records from LSN 15, want 6", len(got))
+	}
+	if _, ok := got[14]; ok {
+		t.Fatal("record below `from` replayed")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	defer l.Close()
+	if _, err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 1 || len(got[1]) != 0 {
+		t.Fatalf("empty payload mishandled: %v", got)
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		l.Append([]byte("x"))
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	lsn, err := l2.Append([]byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 8 {
+		t.Fatalf("lsn after reopen = %d, want 8", lsn)
+	}
+	if got := collect(t, l2, 1); len(got) != 8 {
+		t.Fatalf("replay after reopen got %d records", len(got))
+	}
+}
+
+func TestSegmentRotationAndReplay(t *testing.T) {
+	l, dir := openTemp(t, Options{SegmentMaxBytes: 128})
+	defer l.Close()
+	const n = 100
+	for i := 1; i <= n; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record number %03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) < 3 {
+		t.Fatalf("expected multiple segments, got %d files", len(entries))
+	}
+	got := collect(t, l, 1)
+	if len(got) != n {
+		t.Fatalf("replayed %d, want %d", len(got), n)
+	}
+	if string(got[37]) != "record number 037" {
+		t.Fatalf("record 37 = %q", got[37])
+	}
+}
+
+func TestTruncateBeforeDropsWholeSegments(t *testing.T) {
+	l, dir := openTemp(t, Options{SegmentMaxBytes: 100})
+	defer l.Close()
+	for i := 1; i <= 60; i++ {
+		l.Append([]byte(fmt.Sprintf("rec %04d", i)))
+	}
+	before, _ := os.ReadDir(dir)
+	if err := l.TruncateBefore(40); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadDir(dir)
+	if len(after) >= len(before) {
+		t.Fatalf("truncate removed nothing: %d -> %d segments", len(before), len(after))
+	}
+	if l.FirstLSN() <= 1 {
+		t.Fatalf("FirstLSN = %d, want > 1", l.FirstLSN())
+	}
+	if l.FirstLSN() > 40 {
+		t.Fatalf("FirstLSN = %d overshoots 40", l.FirstLSN())
+	}
+	// Everything >= 40 must still replay.
+	got := collect(t, l, 40)
+	if len(got) != 21 {
+		t.Fatalf("got %d records >= 40, want 21", len(got))
+	}
+}
+
+func TestTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		l.Append([]byte("intact record"))
+	}
+	l.Close()
+	// Corrupt the tail: chop bytes off the last record.
+	segs, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, segs[len(segs)-1].Name())
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 1)
+	if len(got) != 4 {
+		t.Fatalf("recovered %d records, want 4 (torn 5th dropped)", len(got))
+	}
+	// The torn record's LSN is reused.
+	lsn, err := l2.Append([]byte("rewritten"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("lsn = %d, want 5", lsn)
+	}
+}
+
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir, Options{})
+	for i := 0; i < 3; i++ {
+		l.Append([]byte("some payload data"))
+	}
+	l.Close()
+	segs, _ := os.ReadDir(dir)
+	path := filepath.Join(dir, segs[0].Name())
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF // flip a bit in the last record's payload
+	os.WriteFile(path, data, 0o644)
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 1); len(got) != 2 {
+		t.Fatalf("recovered %d, want 2 (corrupt 3rd dropped)", len(got))
+	}
+}
+
+func TestClosedLogRejectsOps(t *testing.T) {
+	l, _ := openTemp(t, Options{})
+	l.Close()
+	if _, err := l.Append([]byte("x")); err != ErrClosed {
+		t.Fatalf("Append after close: %v", err)
+	}
+	if err := l.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after close: %v", err)
+	}
+}
+
+func TestQuickReplayEqualsHistory(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		dir, err := os.MkdirTemp("", "walq")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		l, err := Open(dir, Options{SegmentMaxBytes: 64, NoSync: true})
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if _, err := l.Append(p); err != nil {
+				return false
+			}
+		}
+		l.Close()
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			return false
+		}
+		defer l2.Close()
+		i := 0
+		err = l2.Replay(1, func(lsn uint64, p []byte) error {
+			if lsn != uint64(i+1) || !bytes.Equal(p, payloads[i]) {
+				return fmt.Errorf("mismatch at %d", i)
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == len(payloads)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	l, _ := openTemp(t, Options{NoSync: true})
+	defer l.Close()
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 100; i++ {
+				l.Append([]byte("concurrent"))
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := collect(t, l, 1); len(got) != 400 {
+		t.Fatalf("got %d records, want 400", len(got))
+	}
+}
+
+func BenchmarkAppendNoSync(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("x"), 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendSyncEvery100(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("y"), 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 99 {
+			if err := l.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

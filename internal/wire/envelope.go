@@ -1,0 +1,66 @@
+package wire
+
+// Envelope is the unit the transport moves between sites: routing header
+// plus one protocol message. Seq correlates requests with replies (the
+// RPC layer assigns it); IsReply distinguishes the two directions of the
+// same Seq.
+type Envelope struct {
+	From    SiteID
+	To      SiteID
+	Seq     uint64
+	IsReply bool
+	Msg     Message
+}
+
+// EncodeEnvelope serializes e into a fresh byte slice.
+func EncodeEnvelope(e *Envelope) []byte {
+	// Typical envelopes are small; 64 bytes covers all fixed fields plus a
+	// short key without reallocation.
+	b := make([]byte, 0, 64)
+	b = appendUvarint(b, uint64(e.From))
+	b = appendUvarint(b, uint64(e.To))
+	b = appendUvarint(b, e.Seq)
+	b = appendBool(b, e.IsReply)
+	b = append(b, byte(e.Msg.Kind()))
+	return e.Msg.encode(b)
+}
+
+// DecodeEnvelope parses an envelope produced by EncodeEnvelope. The
+// payload must consume the buffer exactly; trailing bytes are an error.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	r := &reader{b: b}
+	e := &Envelope{}
+	from, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	e.From = SiteID(from)
+	to, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	e.To = SiteID(to)
+	if e.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if e.IsReply, err = r.boolean(); err != nil {
+		return nil, err
+	}
+	if r.remaining() < 1 {
+		return nil, ErrTruncated
+	}
+	kind := Kind(r.b[0])
+	r.b = r.b[1:]
+	msg, err := newMessage(kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := msg.decode(r); err != nil {
+		return nil, err
+	}
+	if err := r.mustDrain(kind); err != nil {
+		return nil, err
+	}
+	e.Msg = msg
+	return e, nil
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes msg inside an envelope and decodes it back.
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	in := &Envelope{From: 3, To: 9, Seq: 77, IsReply: true, Msg: msg}
+	b := EncodeEnvelope(in)
+	out, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if out.From != in.From || out.To != in.To || out.Seq != in.Seq || out.IsReply != in.IsReply {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if out.Msg.Kind() != msg.Kind() {
+		t.Fatalf("kind mismatch: %v vs %v", out.Msg.Kind(), msg.Kind())
+	}
+	return out.Msg
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		&AVRequest{Key: "p17", Amount: -42},
+		&AVReply{Key: "p17", Granted: 500, View: []AVInfo{{Site: 0, Key: "p17", Avail: 1000}, {Site: 2, Key: "p3", Avail: -7}}},
+		&AVReply{Key: "", Granted: 0, View: nil},
+		&DeltaSync{Origin: 1, Deltas: []Delta{{Seq: 1, Key: "a", Amount: -3}, {Seq: 2, Key: "b", Amount: 9}}},
+		&DeltaSync{Origin: 0, Deltas: nil},
+		&DeltaAck{Origin: 2, UpTo: 12345},
+		&IUPrepare{TxnID: 99, Coord: 1, Key: "nonreg-4", Delta: -10},
+		&IUVote{TxnID: 99, OK: false, Reason: "lock timeout"},
+		&IUDecision{TxnID: 99, Commit: true},
+		&IUAck{TxnID: 99, OK: true},
+		&CentralUpdate{Key: "x", Delta: 123456789},
+		&CentralReply{OK: true, NewValue: -1, Reason: ""},
+		&CentralReply{OK: false, NewValue: 0, Reason: "would go negative"},
+		&Read{Key: "k"},
+		&ReadReply{OK: true, Value: 314},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		// Normalize nil vs empty slices for comparison.
+		if !reflect.DeepEqual(normalize(got), normalize(m)) {
+			t.Errorf("%T round trip: got %#v want %#v", m, got, m)
+		}
+	}
+}
+
+// normalize maps nil slices to empty so DeepEqual treats them alike.
+func normalize(m Message) Message {
+	switch v := m.(type) {
+	case *AVReply:
+		if v.View == nil {
+			c := *v
+			c.View = []AVInfo{}
+			return &c
+		}
+	case *DeltaSync:
+		if v.Deltas == nil {
+			c := *v
+			c.Deltas = []Delta{}
+			return &c
+		}
+	}
+	return m
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindAVRequest.String() != "av.request" {
+		t.Fatalf("got %q", KindAVRequest.String())
+	}
+	if Kind(200).String() != "kind(200)" {
+		t.Fatalf("got %q", Kind(200).String())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x01},                       // truncated header
+		{0, 0, 0, 0, 0xFF},           // unknown kind 255
+		{0, 0, 0, 2},                 // bad bool then missing kind
+		{0, 0, 0, 0, byte(KindRead)}, // read with no key
+	}
+	for i, b := range cases {
+		if _, err := DecodeEnvelope(b); err == nil {
+			t.Errorf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b := EncodeEnvelope(&Envelope{Msg: &Read{Key: "k"}})
+	b = append(b, 0xAB)
+	if _, err := DecodeEnvelope(b); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	full := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 1 << 40, Msg: &AVReply{
+		Key: "product-123", Granted: 999, View: []AVInfo{{Site: 5, Key: "product-123", Avail: 77}},
+	}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeEnvelope(full[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeCountPrefix(t *testing.T) {
+	// Hand-build a DeltaSync claiming 2^40 entries with no data behind it.
+	b := []byte{0, 0, 0, 0, byte(KindDeltaSync)}
+	b = appendUvarint(b, 0)     // origin
+	b = appendUvarint(b, 1<<40) // claimed count
+	if _, err := DecodeEnvelope(b); err == nil {
+		t.Fatal("absurd count prefix accepted")
+	}
+}
+
+func TestQuickAVRequestRoundTrip(t *testing.T) {
+	f := func(key string, amount int64, from, to uint32, seq uint64, isReply bool) bool {
+		in := &Envelope{From: SiteID(from), To: SiteID(to), Seq: seq, IsReply: isReply,
+			Msg: &AVRequest{Key: key, Amount: amount}}
+		out, err := DecodeEnvelope(EncodeEnvelope(in))
+		if err != nil {
+			return false
+		}
+		m := out.Msg.(*AVRequest)
+		return out.From == in.From && out.To == in.To && out.Seq == seq &&
+			out.IsReply == isReply && m.Key == key && m.Amount == amount
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDeltaSyncRoundTrip(t *testing.T) {
+	f := func(origin uint16, seqs []uint16, keys []string, amounts []int64) bool {
+		n := len(seqs)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		if len(amounts) < n {
+			n = len(amounts)
+		}
+		in := &DeltaSync{Origin: SiteID(origin)}
+		for i := 0; i < n; i++ {
+			in.Deltas = append(in.Deltas, Delta{Seq: uint64(seqs[i]), Key: keys[i], Amount: amounts[i]})
+		}
+		out, err := DecodeEnvelope(EncodeEnvelope(&Envelope{Msg: in}))
+		if err != nil {
+			return false
+		}
+		m := out.Msg.(*DeltaSync)
+		if m.Origin != in.Origin || len(m.Deltas) != len(in.Deltas) {
+			return false
+		}
+		for i := range in.Deltas {
+			if m.Deltas[i] != in.Deltas[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(b []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = DecodeEnvelope(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeAVRequest(b *testing.B) {
+	e := &Envelope{From: 1, To: 0, Seq: 42, Msg: &AVRequest{Key: "product-0042", Amount: 100}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeEnvelope(e)
+	}
+}
+
+func BenchmarkDecodeAVRequest(b *testing.B) {
+	raw := EncodeEnvelope(&Envelope{From: 1, To: 0, Seq: 42, Msg: &AVRequest{Key: "product-0042", Amount: 100}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeEnvelope(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDeltaSync64(b *testing.B) {
+	m := &DeltaSync{Origin: 1}
+	for i := 0; i < 64; i++ {
+		m.Deltas = append(m.Deltas, Delta{Seq: uint64(i + 1), Key: "product-0001", Amount: int64(-i)})
+	}
+	e := &Envelope{From: 1, To: 2, Msg: m}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeEnvelope(e)
+	}
+}

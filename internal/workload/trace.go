@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace support: an operation stream can be recorded to a plain-text
+// trace ("site key delta" per line) and replayed later, so a workload
+// observed once — synthetic or captured from a real deployment — can be
+// re-driven identically through both systems, across machines, or after
+// code changes.
+
+// WriteTrace writes ops to w in trace format.
+func WriteTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintf(bw, "%d %s %d\n", op.Site, op.Key, op.Delta); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace (or by hand). Blank
+// lines and lines starting with '#' are skipped.
+func ReadTrace(r io.Reader) ([]Op, error) {
+	sc := bufio.NewScanner(r)
+	var ops []Op
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want 'site key delta', got %q", line, text)
+		}
+		site, err := strconv.Atoi(fields[0])
+		if err != nil || site < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad site %q", line, fields[0])
+		}
+		delta, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad delta %q", line, fields[2])
+		}
+		ops = append(ops, Op{Site: site, Key: fields[1], Delta: delta})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// Replay generates a recorded op sequence verbatim, then (if Loop is
+// set) cycles; otherwise Next panics past the end — callers bound their
+// loops by Len.
+type Replay struct {
+	ops  []Op
+	i    int
+	Loop bool
+}
+
+// NewReplay wraps ops as a Generator.
+func NewReplay(ops []Op) *Replay { return &Replay{ops: ops} }
+
+// Len returns the recorded length.
+func (r *Replay) Len() int { return len(r.ops) }
+
+// Next implements Generator.
+func (r *Replay) Next() Op {
+	if r.i >= len(r.ops) {
+		if !r.Loop || len(r.ops) == 0 {
+			panic("workload: replay exhausted")
+		}
+		r.i = 0
+	}
+	op := r.ops[r.i]
+	r.i++
+	return op
+}
+
+// Tee passes through an inner generator while recording every op.
+type Tee struct {
+	Inner    Generator
+	Recorded []Op
+}
+
+// NewTee wraps gen.
+func NewTee(gen Generator) *Tee { return &Tee{Inner: gen} }
+
+// Next implements Generator.
+func (t *Tee) Next() Op {
+	op := t.Inner.Next()
+	t.Recorded = append(t.Recorded, op)
+	return op
+}

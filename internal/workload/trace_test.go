@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g, _ := NewSCM(scmCfg())
+	var ops []Op
+	for i := 0; i < 200; i++ {
+		ops = append(ops, g.Next())
+	}
+	var b strings.Builder
+	if err := WriteTrace(&b, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n0 product-0001 25\n  \n2 product-0002 -7\n"
+	ops, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].Delta != 25 || ops[1].Site != 2 {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"0 key\n",        // missing delta
+		"x key 1\n",      // bad site
+		"-1 key 1\n",     // negative site
+		"0 key nope\n",   // bad delta
+		"0 key 1 tail\n", // extra field
+	} {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("trace %q accepted", in)
+		}
+	}
+}
+
+func TestReplaySequence(t *testing.T) {
+	ops := []Op{{Site: 0, Key: "a", Delta: 1}, {Site: 1, Key: "b", Delta: -2}}
+	r := NewReplay(ops)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Next() != ops[0] || r.Next() != ops[1] {
+		t.Fatal("replay order broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted replay did not panic")
+		}
+	}()
+	r.Next()
+}
+
+func TestReplayLoop(t *testing.T) {
+	r := NewReplay([]Op{{Key: "a"}, {Key: "b"}})
+	r.Loop = true
+	seq := ""
+	for i := 0; i < 5; i++ {
+		seq += r.Next().Key
+	}
+	if seq != "ababa" {
+		t.Fatalf("seq = %q", seq)
+	}
+}
+
+func TestTeeRecords(t *testing.T) {
+	g, _ := NewSCM(scmCfg())
+	tee := NewTee(g)
+	var direct []Op
+	for i := 0; i < 50; i++ {
+		direct = append(direct, tee.Next())
+	}
+	if len(tee.Recorded) != 50 {
+		t.Fatalf("recorded %d", len(tee.Recorded))
+	}
+	for i := range direct {
+		if tee.Recorded[i] != direct[i] {
+			t.Fatal("tee diverged from passthrough")
+		}
+	}
+	// The recording replays to the same stream a fresh generator yields.
+	g2, _ := NewSCM(scmCfg())
+	for i, op := range tee.Recorded {
+		if got := g2.Next(); got != op {
+			t.Fatalf("op %d: %+v != %+v", i, got, op)
+		}
+	}
+}
