@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"testing"
 
+	"avdb/internal/cluster"
 	"avdb/internal/experiment"
 	"avdb/internal/strategy"
+	"avdb/internal/trace"
 )
 
 // benchCfg is a Fig.6-shaped configuration sized so one iteration is a
@@ -287,6 +289,38 @@ func BenchmarkImmediateUpdate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTraceOverhead compares the Delay-Update fast path (local AV
+// spend, zero communication) with tracing absent, present-but-disabled,
+// and enabled. The "untraced" and "disabled" numbers should be within
+// noise of each other: a disabled tracer costs one atomic load per
+// would-be span.
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, tr *trace.Tracer) {
+		c, err := cluster.New(cluster.Config{
+			Sites: 3, Items: 1, InitialAmount: 1 << 50, Tracer: tr,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		key := c.RegularKeys[0]
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Update(ctx, 1, key, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, nil) })
+	b.Run("disabled", func(b *testing.B) {
+		tr := trace.New(trace.DefaultCapacity)
+		tr.SetEnabled(false)
+		run(b, tr)
+	})
+	b.Run("enabled", func(b *testing.B) { run(b, trace.New(trace.DefaultCapacity)) })
 }
 
 // BenchmarkSyncConvergence measures lazy propagation of a batch of

@@ -1,31 +1,41 @@
-// Command avctl is the client CLI for avnode's text protocol.
+// Command avctl is the client CLI for avnode's text protocol, plus a
+// stats subcommand for avnode's admin HTTP server.
 //
 //	avctl -addr localhost:7201 update product-0000 -50
 //	avctl -addr localhost:7201 read product-0000
 //	avctl -addr localhost:7201 av product-0000
 //	avctl -addr localhost:7201 sync
+//	avctl -admin localhost:7300 stats
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 )
 
+const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats> [args...]"
+
 func main() {
 	addr := flag.String("addr", "localhost:7200", "avnode client address")
+	admin := flag.String("admin", "localhost:7300", "avnode admin HTTP address (stats)")
 	timeout := flag.Duration("timeout", 5*time.Second, "dial/IO timeout")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: avctl [-addr host:port] <update|read|av|sync> [args...]")
+		fmt.Fprintln(os.Stderr, usage)
 		os.Exit(2)
 	}
 	cmd := strings.ToUpper(flag.Arg(0))
+	if cmd == "STATS" {
+		os.Exit(stats(*admin, *timeout))
+	}
 	line := strings.Join(append([]string{cmd}, flag.Args()[1:]...), " ")
 
 	conn, err := net.DialTimeout("tcp", *addr, *timeout)
@@ -50,4 +60,35 @@ func main() {
 	if strings.HasPrefix(reply, "ERR") {
 		os.Exit(1)
 	}
+}
+
+// stats prints the node's /metrics and its recent traces from the admin
+// server. Returns the process exit code.
+func stats(admin string, timeout time.Duration) int {
+	client := &http.Client{Timeout: timeout}
+	if err := fetch(client, "http://"+admin+"/metrics", os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: metrics:", err)
+		return 1
+	}
+	fmt.Println("\n# recent traces")
+	if err := fetch(client, "http://"+admin+"/trace/recent?format=text&n=50", os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: traces:", err)
+		return 1
+	}
+	return 0
+}
+
+// fetch GETs url and copies the body to w.
+func fetch(client *http.Client, url string, w io.Writer) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
 }

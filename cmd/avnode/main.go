@@ -30,8 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"avdb/internal/metrics"
+	"avdb/internal/obs"
 	"avdb/internal/site"
 	"avdb/internal/storage"
+	"avdb/internal/trace"
 	"avdb/internal/transport/tcpnet"
 	"avdb/internal/wire"
 )
@@ -50,6 +53,8 @@ func main() {
 		avShare  = flag.Int64("seed-av", 0, "this site's initial AV per product (0 = initial/num-sites)")
 		nonReg   = flag.Float64("seed-nonregular", 0, "fraction of products without AV")
 		flushMS  = flag.Int("flush-ms", 500, "anti-entropy interval in milliseconds")
+		admin    = flag.String("admin", "", "admin HTTP listen address for /healthz, /metrics, /trace (empty = disabled)")
+		traceBuf = flag.Int("trace-buf", trace.DefaultCapacity, "finished spans kept for /trace (with -admin)")
 	)
 	flag.Parse()
 
@@ -58,10 +63,22 @@ func main() {
 		log.Fatalf("avnode: %v", err)
 	}
 
+	// Observability: the registry always counts (it is cheap); the tracer
+	// and admin server exist only when -admin is set.
+	registry := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	var updateLatency *metrics.Histogram
+	if *admin != "" {
+		tracer = trace.New(*traceBuf)
+		updateLatency = metrics.NewHistogram()
+	}
+
 	network := &tcpnet.Network{Cfg: tcpnet.Config{
-		ID:     wire.SiteID(*id),
-		Listen: *listen,
-		Peers:  addrs,
+		ID:       wire.SiteID(*id),
+		Listen:   *listen,
+		Peers:    addrs,
+		Registry: registry,
+		Tracer:   tracer,
 	}}
 	s, err := site.Open(site.Config{
 		ID:            wire.SiteID(*id),
@@ -69,6 +86,7 @@ func main() {
 		Peers:         peers,
 		StorageDir:    *dir,
 		PersistAV:     *persist,
+		Tracer:        tracer,
 		FlushInterval: time.Duration(*flushMS) * time.Millisecond,
 		SweepInterval: 2 * time.Second,
 	}, network)
@@ -76,6 +94,16 @@ func main() {
 		log.Fatalf("avnode: open site: %v", err)
 	}
 	defer s.Close()
+
+	if *admin != "" {
+		srv := obs.New(obs.Options{Registry: registry, Tracer: tracer})
+		srv.RegisterHistogram("update_latency", updateLatency)
+		if err := srv.Start(*admin); err != nil {
+			log.Fatalf("avnode: admin server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("avnode: admin server on %s", srv.Addr())
+	}
 
 	if err := seed(s, *items, *initial, *avShare, *nonReg, len(peers)+1); err != nil {
 		log.Fatalf("avnode: seed: %v", err)
@@ -92,7 +120,7 @@ func main() {
 		if err != nil {
 			return
 		}
-		go serveClient(s, conn)
+		go serveClient(s, conn, updateLatency)
 	}
 }
 
@@ -153,7 +181,9 @@ func seed(s *site.Site, items int, initial, avShare int64, nonRegular float64, s
 }
 
 // serveClient speaks the line protocol on one client connection.
-func serveClient(s *site.Site, conn net.Conn) {
+// updateLatency, when non-nil, collects per-UPDATE wall time for the
+// admin server's /metrics.
+func serveClient(s *site.Site, conn net.Conn, updateLatency *metrics.Histogram) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	w := bufio.NewWriter(conn)
@@ -178,7 +208,11 @@ func serveClient(s *site.Site, conn net.Conn) {
 				reply("ERR bad delta: %v", err)
 				break
 			}
+			start := time.Now()
 			res, err := s.Update(ctx, fields[1], delta)
+			if updateLatency != nil {
+				updateLatency.Observe(time.Since(start))
+			}
 			if err != nil {
 				reply("ERR %v", err)
 				break

@@ -43,14 +43,14 @@ func main() {
 	for i := 0; i < n; i++ {
 		idx := i
 		node, err := tcpnet.Open(tcpnet.Config{ID: wire.SiteID(i), Listen: "127.0.0.1:0"},
-			func(from wire.SiteID, msg wire.Message) wire.Message {
+			func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 				mu.Lock()
 				h := handlers[idx]
 				mu.Unlock()
 				if h == nil {
 					return nil
 				}
-				return h(from, msg)
+				return h(ctx, from, msg)
 			})
 		if err != nil {
 			log.Fatal(err)

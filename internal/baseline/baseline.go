@@ -105,7 +105,7 @@ func New(cfg Config) (*System, error) {
 // handlerFor builds site id's message handler. Only the centre applies
 // CentralUpdates; replicas accept pushes and serve reads.
 func (s *System) handlerFor(id int) transport.Handler {
-	return func(from wire.SiteID, msg wire.Message) wire.Message {
+	return func(_ context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 		switch m := msg.(type) {
 		case *wire.CentralUpdate:
 			if id == 0 {

@@ -15,6 +15,7 @@ import (
 	"avdb/internal/site"
 	"avdb/internal/storage"
 	"avdb/internal/strategy"
+	"avdb/internal/trace"
 	"avdb/internal/transport/memnet"
 	"avdb/internal/wire"
 )
@@ -46,6 +47,10 @@ type Config struct {
 	DisableGossip bool
 	// Registry counts messages; nil creates a fresh one.
 	Registry *metrics.Registry
+	// Tracer, when non-nil, records distributed-tracing spans for every
+	// site and the network. One tracer serves the whole cluster; spans
+	// carry the site ID.
+	Tracer *trace.Tracer
 	// Latency optionally injects network delay.
 	Latency func(from, to wire.SiteID) time.Duration
 	// CallTimeout bounds RPCs (default 5s; fault experiments shorten it).
@@ -90,6 +95,7 @@ func New(cfg Config) (*Cluster, error) {
 			Registry:    cfg.Registry,
 			Latency:     cfg.Latency,
 			CallTimeout: cfg.CallTimeout,
+			Tracer:      cfg.Tracer,
 		}),
 	}
 
@@ -132,6 +138,7 @@ func New(cfg Config) (*Cluster, error) {
 			Seed:           cfg.Seed + uint64(id)*7919,
 			Demand:         demand,
 			DisableGossip:  cfg.DisableGossip,
+			Tracer:         cfg.Tracer,
 			LockTimeout:    cfg.LockTimeout,
 			RequestTimeout: cfg.RequestTimeout,
 			PrepareTimeout: cfg.PrepareTimeout,

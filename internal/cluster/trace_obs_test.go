@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"avdb/internal/core"
+	"avdb/internal/obs"
+	"avdb/internal/trace"
+	"avdb/internal/wire"
+)
+
+// TestCrossSiteTraceViaAdminServer is the observability acceptance path:
+// one Delay Update that exhausts the requester's local AV must leave a
+// trace whose causally-linked spans cover both the requesting and the
+// granting site, and that trace must be retrievable over the admin
+// server's /trace endpoint.
+func TestCrossSiteTraceViaAdminServer(t *testing.T) {
+	tr := trace.New(1024)
+	c := newCluster(t, Config{Sites: 2, Items: 1, InitialAmount: 100, Tracer: tr})
+	key := c.RegularKeys[0]
+
+	// Each site starts with AV 50; -80 exceeds site 1's share, forcing an
+	// AV request to site 0.
+	res, err := c.Update(bg(), 1, key, -80)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if res.Path != core.PathDelayTransfer {
+		t.Fatalf("update path = %v, want delay-transfer", res.Path)
+	}
+
+	// The root span of the update is the newest "update" span at site 1.
+	var root *trace.Span
+	for _, sp := range tr.Snapshot() {
+		if sp.Name == "update" && sp.Site == 1 {
+			sp := sp
+			root = &sp
+		}
+	}
+	if root == nil {
+		t.Fatal("no update span recorded at site 1")
+	}
+
+	srv := obs.New(obs.Options{Registry: c.Registry, Tracer: tr})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("admin server: %v", err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/trace?id=" + root.Trace.String())
+	if err != nil {
+		t.Fatalf("GET /trace: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	spans, err := trace.ReadJSON(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("decode spans: %v", err)
+	}
+
+	byID := make(map[trace.SpanID]*trace.Span, len(spans))
+	sites := make(map[wire.SiteID]bool)
+	for i := range spans {
+		if spans[i].Trace != root.Trace {
+			t.Fatalf("span %s belongs to trace %s, want %s", spans[i].Name, spans[i].Trace, root.Trace)
+		}
+		byID[spans[i].ID] = &spans[i]
+		sites[spans[i].Site] = true
+	}
+	if len(sites) < 2 {
+		t.Fatalf("trace covers %d site(s), want >= 2; spans: %s", len(sites), body)
+	}
+
+	// Walk one grant back to the root: av.grant (site 0) must reach the
+	// update span (site 1) purely via parent links.
+	find := func(name string, site wire.SiteID) *trace.Span {
+		for i := range spans {
+			if spans[i].Name == name && spans[i].Site == site {
+				return &spans[i]
+			}
+		}
+		t.Fatalf("no %q span at site %d in trace; spans: %s", name, site, body)
+		return nil
+	}
+	grant := find("av.grant", 0)
+	find("av.gather", 1)
+	cur := grant
+	steps := 0
+	for cur.Parent != 0 {
+		next := byID[cur.Parent]
+		if next == nil {
+			t.Fatalf("span %s at site %d has dangling parent %s", cur.Name, cur.Site, cur.Parent)
+		}
+		cur = next
+		if steps++; steps > len(spans) {
+			t.Fatal("parent chain does not terminate")
+		}
+	}
+	if cur.Name != "update" || cur.Site != 1 {
+		t.Fatalf("grant's root span = %q at site %d, want \"update\" at site 1", cur.Name, cur.Site)
+	}
+}

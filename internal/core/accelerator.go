@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"avdb/internal/replica"
 	"avdb/internal/rng"
 	"avdb/internal/strategy"
+	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/twopc"
 	"avdb/internal/txn"
@@ -70,6 +72,8 @@ type Config struct {
 	// received views — the A7 ablation isolating the value of the
 	// paper's "information collected at the necessary communication".
 	DisableGossip bool
+	// Tracer records protocol spans (nil disables tracing).
+	Tracer *trace.Tracer
 }
 
 // DemandObserver receives the site's own consumption stream.
@@ -245,7 +249,13 @@ func (a *Accelerator) delayUpdate(ctx context.Context, key string, delta int64) 
 // gatherAV requests AV transfers until the hold reaches need or the
 // candidate passes are exhausted. It returns the final hold size, the
 // number of request rounds, and the total volume received.
-func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64) (int64, int, int64, error) {
+func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64) (_ int64, _ int, _ int64, err error) {
+	ctx, sp := a.cfg.Tracer.Start(ctx, a.cfg.Site, "av.gather")
+	if sp != nil {
+		sp.SetAttr("key", key)
+		sp.SetAttr("need", strconv.FormatInt(need, 10))
+		defer func() { sp.Finish(err) }()
+	}
 	rounds := 0
 	var transferred int64
 	for pass := 0; pass < a.cfg.Passes && got < need; pass++ {
@@ -315,7 +325,12 @@ func (a *Accelerator) applyLocal(ctx context.Context, key string, delta int64) e
 // the reply piggybacks this site's view so the requester's selecting
 // function has fresher information (the paper's gossip: "information is
 // collected at the necessary communication for AV management").
-func (a *Accelerator) HandleAVRequest(from wire.SiteID, req *wire.AVRequest) *wire.AVReply {
+func (a *Accelerator) HandleAVRequest(ctx context.Context, from wire.SiteID, req *wire.AVRequest) *wire.AVReply {
+	_, sp := a.cfg.Tracer.Start(ctx, a.cfg.Site, "av.grant")
+	if sp != nil {
+		sp.SetAttr("key", req.Key)
+		defer sp.EndSpan()
+	}
 	decider := a.cfg.Policy.Decider
 	if kd, ok := decider.(strategy.KeyedDecider); ok {
 		decider = kd.ForKey(req.Key)

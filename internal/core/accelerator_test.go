@@ -53,14 +53,14 @@ func buildSites(t *testing.T, n int, initial int64, avPer int64, policy strategy
 		acc := New(Config{Site: wire.SiteID(i), Base: 0, Peers: peers, Policy: policy, Seed: 5}, avt, tm, iu, repl)
 		ts := &testSite{acc: acc, avt: avt, eng: eng, repl: repl, iu: iu}
 		node, err := net.Open(wire.SiteID(i), func(ts *testSite) transport.Handler {
-			return func(from wire.SiteID, msg wire.Message) wire.Message {
+			return func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 				switch m := msg.(type) {
 				case *wire.AVRequest:
-					return ts.acc.HandleAVRequest(from, m)
+					return ts.acc.HandleAVRequest(ctx, from, m)
 				case *wire.IUPrepare:
-					return ts.iu.HandlePrepare(from, m)
+					return ts.iu.HandlePrepare(ctx, from, m)
 				case *wire.IUDecision:
-					return ts.iu.HandleDecision(from, m)
+					return ts.iu.HandleDecision(ctx, from, m)
 				case *wire.DeltaSync:
 					ack, _ := ts.repl.HandleSync(m)
 					return ack
@@ -209,7 +209,7 @@ func TestHandleAVRequestGossip(t *testing.T) {
 	sites := buildSites(t, 3, 100, 60, strategy.SODA99())
 	// Teach site 0 something about site 2 first.
 	sites[0].acc.View().Observe(2, "k", 33)
-	reply := sites[0].acc.HandleAVRequest(1, &wire.AVRequest{Key: "k", Amount: 10})
+	reply := sites[0].acc.HandleAVRequest(context.Background(), 1, &wire.AVRequest{Key: "k", Amount: 10})
 	if reply.Granted != 30 { // half of 60
 		t.Fatalf("granted = %d", reply.Granted)
 	}
@@ -277,7 +277,7 @@ func TestDisableGossipSuppressesView(t *testing.T) {
 	// keeps the same components).
 	acc := sites[1].acc
 	acc.cfg.DisableGossip = true
-	reply := acc.HandleAVRequest(2, &wire.AVRequest{Key: "k", Amount: 10})
+	reply := acc.HandleAVRequest(context.Background(), 2, &wire.AVRequest{Key: "k", Amount: 10})
 	if len(reply.View) != 0 {
 		t.Fatalf("gossip-off reply carries a view: %+v", reply.View)
 	}

@@ -115,3 +115,76 @@ func (h *Histogram) Summary() string {
 		h.Max().Round(time.Microsecond),
 		h.Count())
 }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+}
+
+// HistogramSnapshot is an immutable point-in-time view of a Histogram.
+// Unlike querying the live histogram stat by stat, a snapshot is
+// internally consistent (all statistics describe the same sample set)
+// and costs the lock only once.
+type HistogramSnapshot struct {
+	Count          int
+	Mean, Min, Max time.Duration
+	sorted         []time.Duration
+}
+
+// Snapshot copies the current samples and computes their statistics.
+// The histogram may keep collecting concurrently.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	samples := make([]time.Duration, len(h.samples))
+	copy(samples, h.samples)
+	h.mu.Unlock()
+	// Sort the copy outside the lock; Observe stays cheap.
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	s := HistogramSnapshot{Count: len(samples), sorted: samples}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = samples[0]
+	s.Max = samples[len(samples)-1]
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(s.Count)
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the snapshot
+// using nearest-rank, or 0 when empty.
+func (s HistogramSnapshot) Percentile(p float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 100 {
+		return s.sorted[s.Count-1]
+	}
+	rank := int(p/100*float64(s.Count)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	return s.sorted[rank]
+}
+
+// Summary renders the snapshot like Histogram.Summary.
+func (s HistogramSnapshot) Summary() string {
+	return fmt.Sprintf("p50=%v p95=%v p99=%v max=%v (n=%d)",
+		s.Percentile(50).Round(time.Microsecond),
+		s.Percentile(95).Round(time.Microsecond),
+		s.Percentile(99).Round(time.Microsecond),
+		s.Max.Round(time.Microsecond),
+		s.Count)
+}

@@ -93,3 +93,85 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("count = %d", h.Count())
 	}
 }
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram()
+	for _, ms := range []int{30, 10, 20, 40} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 40*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean != 25*time.Millisecond {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if got := s.Percentile(50); got != 20*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := s.Percentile(100); got != 40*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	// Snapshots match the live histogram for the same sample set.
+	if live := h.Percentile(50); live != s.Percentile(50) {
+		t.Fatalf("live p50 %v != snapshot p50 %v", live, s.Percentile(50))
+	}
+	if !strings.Contains(s.Summary(), "n=4") {
+		t.Fatalf("summary = %q", s.Summary())
+	}
+	// The snapshot is detached: later samples don't change it.
+	h.Observe(time.Second)
+	if s.Count != 4 || s.Max != 40*time.Millisecond {
+		t.Fatal("snapshot mutated by later Observe")
+	}
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	s := NewHistogram().Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty snapshot reports nonzero stats")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset histogram retains samples")
+	}
+	h.Observe(7 * time.Millisecond)
+	if h.Count() != 1 || h.Percentile(50) != 7*time.Millisecond {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+func TestHistogramSnapshotConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s := h.Snapshot()
+		if s.Percentile(50) > s.Max {
+			t.Error("snapshot p50 exceeds its own max")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

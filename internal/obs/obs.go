@@ -1,0 +1,227 @@
+// Package obs is avdb's embeddable admin/observability surface: a small
+// HTTP server (stdlib only) that exposes the process's health, its
+// metrics.Registry counters and latency histograms, and the distributed
+// traces recorded by an internal/trace.Tracer. cmd/avnode mounts it
+// behind the -admin flag; in-process clusters embed it in tests.
+//
+// Endpoints:
+//
+//	GET /healthz       — liveness: "ok", uptime, site count
+//	GET /metrics       — aligned-text counters, correspondences, histograms
+//	GET /trace?id=...  — one trace as JSON (or ?format=text for a tree)
+//	GET /trace/recent  — most recently finished spans as JSON (?n= limit)
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"avdb/internal/metrics"
+	"avdb/internal/trace"
+)
+
+// Options configure a Server. All fields are optional; endpoints whose
+// backing component is absent report that instead of failing.
+type Options struct {
+	// Registry supplies the message counters for /metrics.
+	Registry *metrics.Registry
+	// Tracer supplies spans for /trace and /trace/recent.
+	Tracer *trace.Tracer
+	// Uptime anchor; zero means "when New was called".
+	Start time.Time
+}
+
+// Server is the admin HTTP server. Create with New, then either mount
+// Handler() into an existing mux or call Start/Close for a standalone
+// listener.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu    sync.Mutex
+	hists []namedHist
+	ln    net.Listener
+	srv   *http.Server
+}
+
+type namedHist struct {
+	name string
+	h    *metrics.Histogram
+}
+
+// New builds a server over the given components.
+func New(opts Options) *Server {
+	if opts.Start.IsZero() {
+		opts.Start = time.Now()
+	}
+	s := &Server{opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
+	s.mux.HandleFunc("GET /trace/recent", s.handleTraceRecent)
+	return s
+}
+
+// RegisterHistogram adds a named latency histogram to /metrics. Safe to
+// call while the server runs.
+func (s *Server) RegisterHistogram(name string, h *metrics.Histogram) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.hists {
+		if s.hists[i].name == name {
+			s.hists[i].h = h
+			return
+		}
+	}
+	s.hists = append(s.hists, namedHist{name, h})
+}
+
+// Handler returns the admin mux for embedding into another server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; ":0" picks a free port) and serves
+// in a background goroutine until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Idempotent; a no-op before Start.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.srv, s.ln = nil, nil
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok\nuptime: %v\n", time.Since(s.opts.Start).Round(time.Millisecond))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+
+	if reg := s.opts.Registry; reg != nil {
+		samples := reg.Snapshot()
+		t := &metrics.Table{Title: "# messages", Columns: []string{"site", "kind", "count"}}
+		for _, smp := range samples {
+			t.AddRow(strconv.Itoa(smp.Site), smp.Kind, strconv.FormatInt(smp.Count, 10))
+		}
+		t.WriteText(w) //nolint:errcheck // best-effort HTTP write
+		fmt.Fprintf(w, "\ntotal_messages %d\ntotal_correspondences %d\n",
+			reg.TotalMessages(), reg.TotalCorrespondences())
+		sites := make([]int, 0)
+		bySite := reg.CorrespondencesBySite()
+		for site := range bySite {
+			sites = append(sites, site)
+		}
+		sort.Ints(sites)
+		for _, site := range sites {
+			fmt.Fprintf(w, "correspondences{site=%d} %d\n", site, bySite[site])
+		}
+	} else {
+		fmt.Fprintln(w, "# no metrics registry configured")
+	}
+
+	s.mu.Lock()
+	hists := append([]namedHist(nil), s.hists...)
+	s.mu.Unlock()
+	for _, nh := range hists {
+		snap := nh.h.Snapshot()
+		fmt.Fprintf(w, "\n# histogram %s\n%s_count %d\n", nh.name, nh.name, snap.Count)
+		if snap.Count > 0 {
+			fmt.Fprintf(w, "%s_mean_ns %d\n%s_p50_ns %d\n%s_p95_ns %d\n%s_p99_ns %d\n%s_max_ns %d\n",
+				nh.name, snap.Mean.Nanoseconds(),
+				nh.name, snap.Percentile(50).Nanoseconds(),
+				nh.name, snap.Percentile(95).Nanoseconds(),
+				nh.name, snap.Percentile(99).Nanoseconds(),
+				nh.name, snap.Max.Nanoseconds())
+		}
+	}
+
+	if tr := s.opts.Tracer; tr != nil {
+		fmt.Fprintf(w, "\ntrace_enabled %t\ntrace_spans_dropped %d\n", tr.Enabled(), tr.Dropped())
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.opts.Tracer
+	if tr == nil {
+		http.Error(w, "no tracer configured", http.StatusNotFound)
+		return
+	}
+	idStr := r.URL.Query().Get("id")
+	if idStr == "" {
+		http.Error(w, "missing id parameter", http.StatusBadRequest)
+		return
+	}
+	id, err := trace.ParseTraceID(idStr)
+	if err != nil {
+		http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	spans := tr.Trace(id)
+	if len(spans) == 0 {
+		http.Error(w, "trace not found (evicted or never recorded)", http.StatusNotFound)
+		return
+	}
+	writeSpans(w, r, spans)
+}
+
+func (s *Server) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	tr := s.opts.Tracer
+	if tr == nil {
+		http.Error(w, "no tracer configured", http.StatusNotFound)
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	writeSpans(w, r, tr.Recent(n))
+}
+
+// writeSpans renders spans as JSON, or as an indented tree with
+// ?format=text.
+func writeSpans(w http.ResponseWriter, r *http.Request, spans []trace.Span) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		trace.WriteText(w, spans) //nolint:errcheck // best-effort HTTP write
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	trace.WriteJSON(w, spans) //nolint:errcheck // best-effort HTTP write
+}

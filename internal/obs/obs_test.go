@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"avdb/internal/metrics"
+	"avdb/internal/trace"
+)
+
+// get fetches path from the running server and returns status and body.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func startServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s := New(opts)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestHealthz(t *testing.T) {
+	s := startServer(t, Options{})
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz status = %d", code)
+	}
+	if !strings.HasPrefix(body, "ok\n") || !strings.Contains(body, "uptime:") {
+		t.Fatalf("healthz body = %q", body)
+	}
+}
+
+func TestMetricsRendersCountersAndHistograms(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter(0, "av.request").Add(4)
+	reg.Counter(1, "iu.prepare").Add(3)
+	tr := trace.New(16)
+	s := startServer(t, Options{Registry: reg, Tracer: tr})
+	h := metrics.NewHistogram()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	s.RegisterHistogram("update_latency", h)
+
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"av.request",
+		"iu.prepare",
+		"total_messages 7",
+		"total_correspondences 4",
+		"correspondences{site=0} 2",
+		"update_latency_count 2",
+		"update_latency_p95_ns",
+		"trace_enabled true",
+		"trace_spans_dropped 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsWithoutRegistry(t *testing.T) {
+	s := startServer(t, Options{})
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	if !strings.Contains(body, "no metrics registry") {
+		t.Fatalf("metrics body = %q", body)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	tr := trace.New(64)
+	ctx, root := tr.Start(context.Background(), 3, "update")
+	_, child := tr.Start(ctx, 3, "av.gather")
+	child.EndSpan()
+	root.EndSpan()
+	s := startServer(t, Options{Tracer: tr})
+
+	code, body := get(t, s, "/trace?id="+root.Context().Trace.String())
+	if code != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", code, body)
+	}
+	got, err := trace.ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode trace JSON: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("trace returned %d spans, want 2", len(got))
+	}
+
+	if code, _ := get(t, s, "/trace?id="+trace.TraceID(0xdead).String()); code != http.StatusNotFound {
+		t.Errorf("unknown trace status = %d, want 404", code)
+	}
+	if code, _ := get(t, s, "/trace?id=zzz"); code != http.StatusBadRequest {
+		t.Errorf("bad id status = %d, want 400", code)
+	}
+	if code, _ := get(t, s, "/trace"); code != http.StatusBadRequest {
+		t.Errorf("missing id status = %d, want 400", code)
+	}
+
+	code, text := get(t, s, "/trace?format=text&id="+root.Context().Trace.String())
+	if code != http.StatusOK || !strings.Contains(text, "update") {
+		t.Errorf("text trace: status %d body %q", code, text)
+	}
+}
+
+func TestTraceRecent(t *testing.T) {
+	tr := trace.New(64)
+	for i := 0; i < 5; i++ {
+		_, sp := tr.Start(context.Background(), 0, "op")
+		sp.EndSpan()
+	}
+	s := startServer(t, Options{Tracer: tr})
+
+	code, body := get(t, s, "/trace/recent?n=3")
+	if code != http.StatusOK {
+		t.Fatalf("recent status = %d", code)
+	}
+	got, err := trace.ReadJSON(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode recent JSON: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recent returned %d spans, want 3", len(got))
+	}
+	if code, _ := get(t, s, "/trace/recent?n=bogus"); code != http.StatusBadRequest {
+		t.Errorf("bad n status = %d, want 400", code)
+	}
+}
+
+func TestTraceEndpointsWithoutTracer(t *testing.T) {
+	s := startServer(t, Options{})
+	if code, _ := get(t, s, "/trace?id=1"); code != http.StatusNotFound {
+		t.Errorf("trace status = %d, want 404", code)
+	}
+	if code, _ := get(t, s, "/trace/recent"); code != http.StatusNotFound {
+		t.Errorf("recent status = %d, want 404", code)
+	}
+}

@@ -336,7 +336,7 @@ func (r *Replicator) Pull(ctx context.Context, node transport.Node, peers []wire
 		// Tell the peer what we now hold so its push path and Compact
 		// see the progress. Best effort: a lost ack only means a
 		// harmless retransmission later.
-		_ = node.Send(peer, ack)
+		_ = node.Send(ctx, peer, ack)
 	}
 	return firstErr
 }

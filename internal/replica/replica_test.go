@@ -158,7 +158,7 @@ func TestFlushOverNetwork(t *testing.T) {
 	replB := New(2, engB)
 	var nodeA transport.Node
 	handler := func(r *Replicator) transport.Handler {
-		return func(from wire.SiteID, msg wire.Message) wire.Message {
+		return func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 			if s, ok := msg.(*wire.DeltaSync); ok {
 				ack, err := r.HandleSync(s)
 				if err != nil {
@@ -204,8 +204,8 @@ func TestFlushSurvivesPartition(t *testing.T) {
 	engB := newEng(t, 100)
 	replA := New(1, engA)
 	replB := New(2, engB)
-	nodeA, _ := net.Open(1, func(from wire.SiteID, msg wire.Message) wire.Message { return nil })
-	net.Open(2, func(from wire.SiteID, msg wire.Message) wire.Message {
+	nodeA, _ := net.Open(1, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil })
+	net.Open(2, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 		ack, _ := replB.HandleSync(msg.(*wire.DeltaSync))
 		return ack
 	})
@@ -307,7 +307,7 @@ func TestPullFetchesPeerDeltas(t *testing.T) {
 	replA := New(1, engA)
 	replB := New(2, engB)
 	// A answers pulls and receives acks; B initiates the pull.
-	nodeA, _ := net.Open(1, func(from wire.SiteID, msg wire.Message) wire.Message {
+	nodeA, _ := net.Open(1, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 		switch m := msg.(type) {
 		case *wire.SyncPull:
 			return &wire.DeltaSync{Origin: 1, Deltas: replA.PendingFor(from)}
@@ -317,7 +317,7 @@ func TestPullFetchesPeerDeltas(t *testing.T) {
 		return nil
 	})
 	_ = nodeA
-	nodeB, _ := net.Open(2, func(from wire.SiteID, msg wire.Message) wire.Message { return nil })
+	nodeB, _ := net.Open(2, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil })
 
 	engA.ApplyDelta("k", -40)
 	replA.Record("k", -40)
@@ -342,7 +342,7 @@ func TestPullSkipsUnreachable(t *testing.T) {
 	net := memnet.New(memnet.Options{})
 	engB := newEng(t, 100)
 	replB := New(2, engB)
-	nodeB, _ := net.Open(2, func(from wire.SiteID, msg wire.Message) wire.Message { return nil })
+	nodeB, _ := net.Open(2, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil })
 	// Peer 9 does not exist: Pull must not error.
 	if err := replB.Pull(context.Background(), nodeB, []wire.SiteID{9}); err != nil {
 		t.Fatalf("pull from missing peer: %v", err)

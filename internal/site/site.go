@@ -22,6 +22,7 @@ import (
 	"avdb/internal/replica"
 	"avdb/internal/storage"
 	"avdb/internal/strategy"
+	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/twopc"
 	"avdb/internal/txn"
@@ -55,6 +56,10 @@ type Config struct {
 	// Events, when non-nil, receives structured protocol events (inbound
 	// messages and update outcomes) for observability.
 	Events *eventlog.Log
+	// Tracer records distributed-tracing spans for this site's protocol
+	// activity (nil disables tracing). Sites of one cluster may share a
+	// tracer; spans carry the site ID.
+	Tracer *trace.Tracer
 	// Clock drives the background loops (default the real clock; tests
 	// inject a clock.Virtual to step them deterministically).
 	Clock clock.Clock
@@ -128,6 +133,7 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Site:           cfg.ID,
 		Base:           cfg.Base,
 		PrepareTimeout: cfg.PrepareTimeout,
+		Tracer:         cfg.Tracer,
 	}, s.tm)
 	if cfg.StorageDir != "" {
 		// A durable engine needs durable replication state, or a restart
@@ -153,6 +159,7 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Seed:           cfg.Seed,
 		Demand:         cfg.Demand,
 		DisableGossip:  cfg.DisableGossip,
+		Tracer:         cfg.Tracer,
 	}, s.avt, s.tm, s.iu, s.repl)
 
 	node, err := network.Open(cfg.ID, s.handle)
@@ -185,8 +192,9 @@ func (s *Site) event(typ, key, format string, args ...any) {
 	}
 }
 
-// handle dispatches one inbound protocol message.
-func (s *Site) handle(from wire.SiteID, msg wire.Message) wire.Message {
+// handle dispatches one inbound protocol message. ctx carries the
+// sender's trace context, so handler spans parent to the remote caller.
+func (s *Site) handle(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 	if s.cfg.Events != nil {
 		key := ""
 		switch m := msg.(type) {
@@ -201,11 +209,11 @@ func (s *Site) handle(from wire.SiteID, msg wire.Message) wire.Message {
 	}
 	switch m := msg.(type) {
 	case *wire.AVRequest:
-		return s.accel.HandleAVRequest(from, m)
+		return s.accel.HandleAVRequest(ctx, from, m)
 	case *wire.IUPrepare:
-		return s.iu.HandlePrepare(from, m)
+		return s.iu.HandlePrepare(ctx, from, m)
 	case *wire.IUDecision:
-		return s.iu.HandleDecision(from, m)
+		return s.iu.HandleDecision(ctx, from, m)
 	case *wire.DeltaSync:
 		ack, err := s.repl.HandleSync(m)
 		if err != nil {
@@ -271,9 +279,17 @@ func (s *Site) DefineAV(key string, volume int64) error {
 	return s.avt.Define(key, volume)
 }
 
-// Update applies delta to key through the accelerator.
+// Update applies delta to key through the accelerator. When tracing is
+// on, the whole update becomes one trace rooted here; remote spans the
+// protocol causes (AV grants, 2PC votes) link back to it.
 func (s *Site) Update(ctx context.Context, key string, delta int64) (core.Result, error) {
+	ctx, sp := s.cfg.Tracer.Start(ctx, s.cfg.ID, "update")
 	res, err := s.accel.Update(ctx, key, delta)
+	if sp != nil {
+		sp.SetAttr("key", key)
+		sp.SetAttr("path", res.Path.String())
+		sp.Finish(err)
+	}
 	if err != nil {
 		s.event("update.failed", key, "delta=%d err=%v", delta, err)
 	} else {

@@ -109,7 +109,7 @@ func TestBackgroundSweepLoop(t *testing.T) {
 	sites := openSites(t, net, 2, Config{SweepInterval: 20 * time.Millisecond})
 	// Plant an orphaned prepared transaction with an immediate deadline.
 	iu := sites[1].TwoPC()
-	vote := iu.HandlePrepare(0, &wire.IUPrepare{TxnID: 42, Coord: 0, Key: "non", Delta: -1})
+	vote := iu.HandlePrepare(context.Background(), 0, &wire.IUPrepare{TxnID: 42, Coord: 0, Key: "non", Delta: -1})
 	if !vote.OK {
 		t.Fatalf("prepare: %s", vote.Reason)
 	}
@@ -122,7 +122,7 @@ func TestBackgroundSweepLoop(t *testing.T) {
 	if iu.PreparedCount() != 1 {
 		t.Fatal("sweep loop removed a non-expired prepared txn")
 	}
-	iu.HandleDecision(0, &wire.IUDecision{TxnID: 42, Commit: false})
+	iu.HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 42, Commit: false})
 }
 
 func TestDurableSiteRecovers(t *testing.T) {
@@ -235,7 +235,7 @@ func TestSyncFailureReturnsCurrentAck(t *testing.T) {
 	// request.
 	net := memnet.New(memnet.Options{})
 	sites := openSites(t, net, 2, Config{})
-	reply := sites[0].handle(1, &wire.DeltaSync{Origin: 1, Deltas: []wire.Delta{
+	reply := sites[0].handle(context.Background(), 1, &wire.DeltaSync{Origin: 1, Deltas: []wire.Delta{
 		{Seq: 1, Key: "not-seeded", Amount: -1},
 	}})
 	ack, ok := reply.(*wire.DeltaAck)
@@ -250,7 +250,7 @@ func TestSyncFailureReturnsCurrentAck(t *testing.T) {
 func TestUnknownMessageIgnored(t *testing.T) {
 	net := memnet.New(memnet.Options{})
 	sites := openSites(t, net, 1, Config{})
-	if reply := sites[0].handle(0, &wire.CentralUpdate{Key: "x", Delta: 1}); reply != nil {
+	if reply := sites[0].handle(context.Background(), 0, &wire.CentralUpdate{Key: "x", Delta: 1}); reply != nil {
 		t.Fatalf("baseline message answered by a site: %T", reply)
 	}
 }

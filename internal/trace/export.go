@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"avdb/internal/wire"
+)
+
+// String renders the trace ID as 16 hex digits — the form /trace?id=
+// accepts and exports emit.
+func (id TraceID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// String renders the span ID as 16 hex digits.
+func (id SpanID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseTraceID parses the hex form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// jsonSpan is the export schema: IDs as hex strings (JSON numbers lose
+// precision past 2^53), times as RFC3339Nano, duration in nanoseconds.
+type jsonSpan struct {
+	Trace    string    `json:"trace"`
+	ID       string    `json:"id"`
+	Parent   string    `json:"parent,omitempty"`
+	Site     uint32    `json:"site"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	Duration int64     `json:"duration_ns"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Span) MarshalJSON() ([]byte, error) {
+	js := jsonSpan{
+		Trace:    s.Trace.String(),
+		ID:       s.ID.String(),
+		Site:     uint32(s.Site),
+		Name:     s.Name,
+		Start:    s.Start,
+		Duration: s.End.Sub(s.Start).Nanoseconds(),
+		Attrs:    s.Attrs,
+		Error:    s.Error,
+	}
+	if s.Parent != 0 {
+		js.Parent = s.Parent.String()
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (the inverse of MarshalJSON,
+// used by tests and avctl to read exported spans back).
+func (s *Span) UnmarshalJSON(b []byte) error {
+	var js jsonSpan
+	if err := json.Unmarshal(b, &js); err != nil {
+		return err
+	}
+	tid, err := ParseTraceID(js.Trace)
+	if err != nil {
+		return err
+	}
+	id, err := strconv.ParseUint(js.ID, 16, 64)
+	if err != nil {
+		return fmt.Errorf("trace: bad span id %q: %w", js.ID, err)
+	}
+	var parent uint64
+	if js.Parent != "" {
+		if parent, err = strconv.ParseUint(js.Parent, 16, 64); err != nil {
+			return fmt.Errorf("trace: bad parent id %q: %w", js.Parent, err)
+		}
+	}
+	*s = Span{
+		Trace:  tid,
+		ID:     SpanID(id),
+		Parent: SpanID(parent),
+		Site:   wire.SiteID(js.Site),
+		Name:   js.Name,
+		Start:  js.Start,
+		End:    js.Start.Add(time.Duration(js.Duration)),
+		Attrs:  js.Attrs,
+		Error:  js.Error,
+	}
+	return nil
+}
+
+// WriteJSON writes spans as a JSON array.
+func WriteJSON(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if spans == nil {
+		spans = []Span{}
+	}
+	return enc.Encode(spans)
+}
+
+// ReadJSON parses a span array produced by WriteJSON.
+func ReadJSON(r io.Reader) ([]Span, error) {
+	var spans []Span
+	if err := json.NewDecoder(r).Decode(&spans); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// WriteText renders spans as an aligned tree: children indent under
+// their parents, orphans (parent not retained, e.g. the parent ran at
+// another site or aged out of the ring) print at top level. One trace's
+// spans stay contiguous.
+func WriteText(w io.Writer, spans []Span) error {
+	byParent := make(map[SpanID][]Span)
+	present := make(map[SpanID]bool, len(spans))
+	for _, sp := range spans {
+		present[sp.ID] = true
+	}
+	var roots []Span
+	for _, sp := range spans {
+		if sp.Parent != 0 && present[sp.Parent] {
+			byParent[sp.Parent] = append(byParent[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	// Group root spans by trace so interleaved traces render separately.
+	sort.SliceStable(roots, func(i, j int) bool {
+		if roots[i].Trace != roots[j].Trace {
+			return roots[i].Trace < roots[j].Trace
+		}
+		return roots[i].Start.Before(roots[j].Start)
+	})
+	var b strings.Builder
+	lastTrace := TraceID(0)
+	for _, r := range roots {
+		if r.Trace != lastTrace {
+			fmt.Fprintf(&b, "trace %s\n", r.Trace)
+			lastTrace = r.Trace
+		}
+		writeSpanTree(&b, r, byParent, 1)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSpanTree renders one span and its descendants.
+func writeSpanTree(b *strings.Builder, sp Span, byParent map[SpanID][]Span, depth int) {
+	fmt.Fprintf(b, "%s%-24s site=%d %12s", strings.Repeat("  ", depth), sp.Name, sp.Site,
+		sp.End.Sub(sp.Start).Round(time.Microsecond))
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Val)
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(b, " error=%q", sp.Error)
+	}
+	b.WriteByte('\n')
+	kids := byParent[sp.ID]
+	sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	for _, k := range kids {
+		writeSpanTree(b, k, byParent, depth+1)
+	}
+}

@@ -1,0 +1,279 @@
+// Package trace is avdb's lightweight distributed tracing: every
+// protocol exchange — a Delay Update spending local AV, an accelerator
+// shopping for AV transfers, an Immediate Update's two-phase commit —
+// records causally linked spans across the sites it touches, so the
+// paper's "relaxed when possible, strict when necessary" behaviour is
+// observable per request rather than only as aggregate counters.
+//
+// The design favours the protocol's fast path: a disabled (or nil)
+// Tracer costs roughly one atomic load per span site, allocates
+// nothing, and keeps envelopes byte-identical to the untraced format.
+// When enabled, finished spans land in a fixed-size ring of atomic
+// slots — writers claim a slot with one atomic add and publish with one
+// atomic store, so tracing never serializes the protocol goroutines —
+// and exporters (internal/obs, tests) snapshot the ring without
+// stopping writers.
+//
+// Trace identity crosses sites by riding in wire.Envelope (TraceID +
+// parent SpanID); the receiving transport rebuilds the span context and
+// hands it to the message handler through its context.Context, so a
+// remote grant's span parents back to the requester's update span.
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"avdb/internal/wire"
+)
+
+// TraceID identifies one causally related set of spans (one update, end
+// to end, across every site it touched). Zero means "no trace".
+type TraceID uint64
+
+// SpanID identifies one span within a trace. Zero means "no span".
+type SpanID uint64
+
+// SpanContext is the portable identity of a live span: enough to parent
+// a child span locally or at a remote site.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// ctxKey keys the SpanContext stored in a context.Context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc. Transports use it to plant the
+// remote caller's span context before invoking the local handler.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext returns the span context carried by ctx, if any.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Span is one timed operation at one site. A *Span returned by Start is
+// owned by the starting goroutine until End, which publishes an
+// immutable copy to the tracer's ring; all methods are safe on a nil
+// receiver so call sites need no tracer-enabled branches.
+type Span struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID // zero for a root span
+	Site   wire.SiteID
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+	Error  string
+
+	tracer *Tracer
+}
+
+// Context returns the span's portable identity.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.Trace, Span: s.ID}
+}
+
+// SetAttr annotates the span. Callers that must format the value should
+// guard with `if span != nil` to keep the disabled path allocation-free.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// SetError records err on the span (nil clears nothing and is ignored).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Error = err.Error()
+}
+
+// Finish records err (if any), stamps the end time, and publishes the
+// span — EndSpan with an error attached in one call.
+func (s *Span) Finish(err error) {
+	s.SetError(err)
+	s.EndSpan()
+}
+
+// EndSpan stamps the end time and publishes an immutable copy of the
+// span to the tracer's ring. (Named EndSpan, not End, because End is
+// the exported end-timestamp field.) The span must not be mutated
+// afterwards.
+func (s *Span) EndSpan() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now()
+	s.tracer.publish(s)
+}
+
+// Tracer records spans for one process (one site in a TCP deployment;
+// all sites of an in-process cluster may share one). The zero value is
+// not usable; call New. A nil *Tracer is a valid always-disabled tracer.
+type Tracer struct {
+	enabled atomic.Bool
+	ids     atomic.Uint64
+	seed    uint64
+	slots   []atomic.Pointer[Span]
+	cursor  atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// DefaultCapacity is the ring size New uses when given n <= 0.
+const DefaultCapacity = 4096
+
+// New returns an enabled tracer retaining the last n finished spans
+// (DefaultCapacity when n <= 0).
+func New(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultCapacity
+	}
+	t := &Tracer{
+		seed:  uint64(time.Now().UnixNano()),
+		slots: make([]atomic.Pointer[Span], n),
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled flips recording. Disabling does not clear retained spans.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether spans are being recorded. A nil tracer is
+// permanently disabled — this is the one-atomic-load fast path every
+// instrumentation site goes through.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// splitmix64 scrambles a counter into a well-spread 64-bit ID.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// id returns a fresh nonzero identifier.
+func (t *Tracer) id() uint64 {
+	v := splitmix64(t.seed + t.ids.Add(1))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Start begins a span named name at site. When ctx already carries a
+// span context (a local parent, or a remote one planted by the
+// transport) the new span joins that trace as a child; otherwise it
+// roots a new trace. The returned context carries the new span for
+// children; the returned *Span is nil when the tracer is disabled.
+func (t *Tracer) Start(ctx context.Context, site wire.SiteID, name string) (context.Context, *Span) {
+	if !t.Enabled() {
+		return ctx, nil
+	}
+	sp := &Span{
+		ID:     SpanID(t.id()),
+		Site:   site,
+		Name:   name,
+		Start:  time.Now(),
+		tracer: t,
+	}
+	if parent := FromContext(ctx); parent.Valid() {
+		sp.Trace = parent.Trace
+		sp.Parent = parent.Span
+	} else {
+		sp.Trace = TraceID(t.id())
+	}
+	return ContextWith(ctx, sp.Context()), sp
+}
+
+// publish stores an immutable copy of s into the ring. Writers contend
+// only on two atomics; a full ring overwrites the oldest span (Dropped
+// counts overwrites so exporters can report truncation).
+func (t *Tracer) publish(s *Span) {
+	if t == nil {
+		return
+	}
+	i := t.cursor.Add(1) - 1
+	if i >= uint64(len(t.slots)) {
+		t.dropped.Add(1)
+	}
+	cp := *s
+	cp.tracer = nil
+	t.slots[i%uint64(len(t.slots))].Store(&cp)
+}
+
+// Dropped reports how many spans have been overwritten by ring wrap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot returns every retained span ordered by start time (ties by
+// span ID). It never blocks writers.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.slots))
+	for i := range t.slots {
+		if sp := t.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Recent returns the n most recently started retained spans (all of
+// them when n <= 0), newest last.
+func (t *Tracer) Recent(n int) []Span {
+	all := t.Snapshot()
+	if n <= 0 || n >= len(all) {
+		return all
+	}
+	return all[len(all)-n:]
+}
+
+// Trace returns the retained spans of one trace, start-ordered.
+func (t *Tracer) Trace(id TraceID) []Span {
+	var out []Span
+	for _, sp := range t.Snapshot() {
+		if sp.Trace == id {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

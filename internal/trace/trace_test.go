@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStartLinksParentAndChild(t *testing.T) {
+	tr := New(16)
+	ctx, root := tr.Start(context.Background(), 1, "update")
+	if root == nil {
+		t.Fatal("enabled tracer returned nil span")
+	}
+	_, child := tr.Start(ctx, 1, "av.gather")
+	if child.Trace != root.Trace {
+		t.Fatalf("child trace %v != root trace %v", child.Trace, root.Trace)
+	}
+	if child.Parent != root.ID {
+		t.Fatalf("child parent %v != root id %v", child.Parent, root.ID)
+	}
+	child.EndSpan()
+	root.EndSpan()
+	spans := tr.Trace(root.Trace)
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "update" || spans[1].Name != "av.gather" {
+		t.Fatalf("order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+}
+
+func TestRemoteParentViaContext(t *testing.T) {
+	tr := New(16)
+	// Simulate the receiving transport planting the caller's context.
+	remote := SpanContext{Trace: 0xabc, Span: 0xdef}
+	ctx := ContextWith(context.Background(), remote)
+	_, sp := tr.Start(ctx, 2, "recv.av.request")
+	if sp.Trace != remote.Trace || sp.Parent != remote.Span {
+		t.Fatalf("span %+v not parented to remote %+v", sp, remote)
+	}
+	sp.EndSpan()
+}
+
+func TestDisabledAndNilTracerNoOp(t *testing.T) {
+	var nilTr *Tracer
+	ctx, sp := nilTr.Start(context.Background(), 0, "x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// All span methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetError(errors.New("boom"))
+	sp.Finish(nil)
+	sp.EndSpan()
+	if sc := FromContext(ctx); sc.Valid() {
+		t.Fatal("nil tracer polluted the context")
+	}
+
+	tr := New(4)
+	tr.SetEnabled(false)
+	if _, sp := tr.Start(context.Background(), 0, "x"); sp != nil {
+		t.Fatal("disabled tracer returned a span")
+	}
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled tracer retained %d spans", len(got))
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(4)
+	var last TraceID
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), 0, "s")
+		last = sp.Trace
+		sp.EndSpan()
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.Trace == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("newest span evicted instead of oldest")
+	}
+}
+
+func TestConcurrentPublishAndSnapshot(t *testing.T) {
+	tr := New(64)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Snapshot()
+				tr.Recent(8)
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				ctx, sp := tr.Start(context.Background(), 1, "op")
+				_, c := tr.Start(ctx, 1, "child")
+				c.EndSpan()
+				sp.EndSpan()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if len(tr.Snapshot()) != 64 {
+		t.Fatalf("ring not full: %d", len(tr.Snapshot()))
+	}
+}
+
+func TestExportJSONRoundTrip(t *testing.T) {
+	tr := New(16)
+	ctx, root := tr.Start(context.Background(), 1, "update")
+	root.SetAttr("key", "product-0001")
+	_, child := tr.Start(ctx, 2, "av.grant")
+	child.SetError(errors.New("refused"))
+	child.EndSpan()
+	root.EndSpan()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d spans, want 2", len(back))
+	}
+	if back[0].Trace != root.Trace || back[1].Parent != root.ID {
+		t.Fatalf("ids lost in round trip: %+v", back)
+	}
+	if back[0].Attrs[0] != (Attr{"key", "product-0001"}) {
+		t.Fatalf("attrs lost: %+v", back[0].Attrs)
+	}
+	if back[1].Error != "refused" {
+		t.Fatalf("error lost: %+v", back[1])
+	}
+}
+
+func TestExportText(t *testing.T) {
+	tr := New(16)
+	ctx, root := tr.Start(context.Background(), 1, "update")
+	_, child := tr.Start(ctx, 2, "recv.av.request")
+	child.EndSpan()
+	root.EndSpan()
+
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace "+root.Trace.String()) {
+		t.Fatalf("missing trace header:\n%s", out)
+	}
+	// The child must be indented one level deeper than the root.
+	rootLine, childLine := "", ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "update") {
+			rootLine = line
+		}
+		if strings.Contains(line, "recv.av.request") {
+			childLine = line
+		}
+	}
+	if rootLine == "" || childLine == "" {
+		t.Fatalf("spans missing:\n%s", out)
+	}
+	indent := func(s string) int { return len(s) - len(strings.TrimLeft(s, " ")) }
+	if indent(childLine) <= indent(rootLine) {
+		t.Fatalf("child not nested under root:\n%s", out)
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	id := TraceID(0xdeadbeefcafe)
+	got, err := ParseTraceID(id.String())
+	if err != nil || got != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", id.String(), got, err)
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

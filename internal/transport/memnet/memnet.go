@@ -11,10 +11,12 @@ package memnet
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"avdb/internal/metrics"
+	"avdb/internal/trace"
 	"avdb/internal/wire"
 
 	"avdb/internal/transport"
@@ -29,6 +31,10 @@ type Options struct {
 	Drop func(from, to wire.SiteID, msg wire.Message) bool
 	// Registry receives message counts. Nil disables counting.
 	Registry *metrics.Registry
+	// Tracer records send/recv spans for every Call/Send and propagates
+	// trace context through envelopes. All in-process sites share it
+	// (spans carry the site ID). Nil disables tracing.
+	Tracer *trace.Tracer
 	// QueueLen is the inbox depth per node (default 1024).
 	QueueLen int
 	// CallTimeout bounds Call when the caller's context has no deadline
@@ -256,23 +262,50 @@ func (nd *node) loop() {
 	}
 }
 
-// serve runs the handler for one request and sends back its reply.
+// serve runs the handler for one request and sends back its reply. The
+// envelope's trace context (if any) is planted in the handler's context
+// and a recv span brackets the handler, so work done here parents back
+// to the remote caller's span.
 func (nd *node) serve(env *wire.Envelope) {
-	reply := nd.handler(env.From, env.Msg)
+	ctx := context.Background()
+	if env.TraceID != 0 {
+		ctx = trace.ContextWith(ctx, trace.SpanContext{
+			Trace: trace.TraceID(env.TraceID), Span: trace.SpanID(env.SpanID)})
+	}
+	ctx, sp := nd.net.opts.Tracer.Start(ctx, nd.id, "recv."+env.Msg.Kind().String())
+	if sp != nil {
+		sp.SetAttr("from", strconv.Itoa(int(env.From)))
+	}
+	reply := nd.handler(ctx, env.From, env.Msg)
+	sp.EndSpan()
 	if reply == nil {
 		return
 	}
-	_ = nd.net.send(&wire.Envelope{
+	out := &wire.Envelope{
 		From:    nd.id,
 		To:      env.From,
 		Seq:     env.Seq,
 		IsReply: true,
 		Msg:     reply,
-	})
+	}
+	// The reply carries the same trace so the caller's transport (and
+	// any tap between) can attribute it; its parent is the recv span.
+	if sc := trace.FromContext(ctx); sc.Valid() {
+		out.TraceID, out.SpanID = uint64(sc.Trace), uint64(sc.Span)
+	}
+	_ = nd.net.send(out)
 }
 
 // Call implements transport.Node.
 func (nd *node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
+	ctx, sp := nd.span(ctx, to, "call.", req)
+	reply, err := nd.call(ctx, to, req)
+	sp.Finish(err)
+	return reply, err
+}
+
+// call is Call without the tracing wrapper.
+func (nd *node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
 	nd.mu.Lock()
 	if nd.closed {
 		nd.mu.Unlock()
@@ -290,7 +323,7 @@ func (nd *node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 		nd.mu.Unlock()
 	}
 
-	err := nd.net.send(&wire.Envelope{From: nd.id, To: to, Seq: seq, Msg: req})
+	err := nd.net.send(nd.envelope(ctx, to, seq, req))
 	if err != nil {
 		unregister()
 		return nil, err
@@ -317,7 +350,7 @@ func (nd *node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 }
 
 // Send implements transport.Node.
-func (nd *node) Send(to wire.SiteID, msg wire.Message) error {
+func (nd *node) Send(ctx context.Context, to wire.SiteID, msg wire.Message) error {
 	nd.mu.Lock()
 	if nd.closed {
 		nd.mu.Unlock()
@@ -326,7 +359,31 @@ func (nd *node) Send(to wire.SiteID, msg wire.Message) error {
 	nd.seq++
 	seq := nd.seq
 	nd.mu.Unlock()
-	return nd.net.send(&wire.Envelope{From: nd.id, To: to, Seq: seq, Msg: msg})
+	ctx, sp := nd.span(ctx, to, "send.", msg)
+	err := nd.net.send(nd.envelope(ctx, to, seq, msg))
+	sp.Finish(err)
+	return err
+}
+
+// span starts a send-side transport span for msg when tracing is on.
+func (nd *node) span(ctx context.Context, to wire.SiteID, prefix string, msg wire.Message) (context.Context, *trace.Span) {
+	ctx, sp := nd.net.opts.Tracer.Start(ctx, nd.id, prefix+msg.Kind().String())
+	if sp != nil {
+		sp.SetAttr("peer", strconv.Itoa(int(to)))
+	}
+	return ctx, sp
+}
+
+// envelope builds an outbound request envelope carrying ctx's trace
+// context, if any.
+func (nd *node) envelope(ctx context.Context, to wire.SiteID, seq uint64, msg wire.Message) *wire.Envelope {
+	env := &wire.Envelope{From: nd.id, To: to, Seq: seq, Msg: msg}
+	if nd.net.opts.Tracer.Enabled() {
+		if sc := trace.FromContext(ctx); sc.Valid() {
+			env.TraceID, env.SpanID = uint64(sc.Trace), uint64(sc.Span)
+		}
+	}
+	return env
 }
 
 // Close implements transport.Node.

@@ -13,7 +13,7 @@ import (
 )
 
 // echoHandler replies to Read requests with the key length as value.
-func echoHandler(from wire.SiteID, msg wire.Message) wire.Message {
+func echoHandler(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 	if r, ok := msg.(*wire.Read); ok {
 		return &wire.ReadReply{OK: true, Value: int64(len(r.Key))}
 	}
@@ -174,7 +174,7 @@ func TestCountingAttributesToInitiator(t *testing.T) {
 func TestOneWaySend(t *testing.T) {
 	var mu sync.Mutex
 	var got []int64
-	h := func(from wire.SiteID, msg wire.Message) wire.Message {
+	h := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 		if d, ok := msg.(*wire.DeltaAck); ok {
 			mu.Lock()
 			got = append(got, int64(d.UpTo))
@@ -186,7 +186,7 @@ func TestOneWaySend(t *testing.T) {
 	a, _ := net.Open(1, h)
 	net.Open(2, h)
 	for i := 1; i <= 3; i++ {
-		if err := a.Send(2, &wire.DeltaAck{Origin: 1, UpTo: uint64(i)}); err != nil {
+		if err := a.Send(context.Background(), 2, &wire.DeltaAck{Origin: 1, UpTo: uint64(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}

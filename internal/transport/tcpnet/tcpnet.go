@@ -14,9 +14,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"avdb/internal/metrics"
+	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/wire"
 )
@@ -39,6 +42,12 @@ type Config struct {
 	// CallTimeout bounds Call when the context has no deadline
 	// (default 5s).
 	CallTimeout time.Duration
+	// Registry counts messages the same way memnet does (both directions
+	// of an exchange charged to the initiator). Nil disables counting.
+	Registry *metrics.Registry
+	// Tracer records send/recv spans and propagates trace context in
+	// envelopes. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Node is one site's TCP endpoint.
@@ -167,13 +176,27 @@ func (n *Node) readLoop(conn net.Conn) {
 		n.wg.Add(1)
 		go func(env *wire.Envelope) {
 			defer n.wg.Done()
-			reply := n.handler(env.From, env.Msg)
+			ctx := context.Background()
+			if env.TraceID != 0 {
+				ctx = trace.ContextWith(ctx, trace.SpanContext{
+					Trace: trace.TraceID(env.TraceID), Span: trace.SpanID(env.SpanID)})
+			}
+			ctx, sp := n.cfg.Tracer.Start(ctx, n.cfg.ID, "recv."+env.Msg.Kind().String())
+			if sp != nil {
+				sp.SetAttr("from", strconv.Itoa(int(env.From)))
+			}
+			reply := n.handler(ctx, env.From, env.Msg)
+			sp.EndSpan()
 			if reply == nil {
 				return
 			}
-			_ = n.send(&wire.Envelope{
+			out := &wire.Envelope{
 				From: n.cfg.ID, To: env.From, Seq: env.Seq, IsReply: true, Msg: reply,
-			})
+			}
+			if sc := trace.FromContext(ctx); sc.Valid() {
+				out.TraceID, out.SpanID = uint64(sc.Trace), uint64(sc.Span)
+			}
+			_ = n.send(out)
 		}(env)
 	}
 }
@@ -225,9 +248,24 @@ func (n *Node) dropConn(to wire.SiteID, pc *peerConn) {
 	pc.conn.Close()
 }
 
+// count attributes one message to the exchange's initiator: the sender
+// for requests, the destination for replies (memnet's attribution, so a
+// TCP deployment's /metrics matches the experiments').
+func (n *Node) count(env *wire.Envelope) {
+	if n.cfg.Registry == nil {
+		return
+	}
+	site := env.From
+	if env.IsReply {
+		site = env.To
+	}
+	n.cfg.Registry.Counter(int(site), env.Msg.Kind().String()).Inc()
+}
+
 // send frames and writes one envelope, redialing once on a stale
 // connection.
 func (n *Node) send(env *wire.Envelope) error {
+	n.count(env)
 	payload := wire.EncodeEnvelope(env)
 	frame := make([]byte, 4+len(payload))
 	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
@@ -250,6 +288,14 @@ func (n *Node) send(env *wire.Envelope) error {
 
 // Call implements transport.Node.
 func (n *Node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
+	ctx, sp := n.span(ctx, to, "call.", req)
+	reply, err := n.call(ctx, to, req)
+	sp.Finish(err)
+	return reply, err
+}
+
+// call is Call without the tracing wrapper.
+func (n *Node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -266,7 +312,7 @@ func (n *Node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire
 		delete(n.pending, seq)
 		n.mu.Unlock()
 	}
-	if err := n.send(&wire.Envelope{From: n.cfg.ID, To: to, Seq: seq, Msg: req}); err != nil {
+	if err := n.send(n.envelope(ctx, to, seq, req)); err != nil {
 		unregister()
 		return nil, err
 	}
@@ -288,7 +334,7 @@ func (n *Node) Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire
 }
 
 // Send implements transport.Node.
-func (n *Node) Send(to wire.SiteID, msg wire.Message) error {
+func (n *Node) Send(ctx context.Context, to wire.SiteID, msg wire.Message) error {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -297,7 +343,31 @@ func (n *Node) Send(to wire.SiteID, msg wire.Message) error {
 	n.seq++
 	seq := n.seq
 	n.mu.Unlock()
-	return n.send(&wire.Envelope{From: n.cfg.ID, To: to, Seq: seq, Msg: msg})
+	ctx, sp := n.span(ctx, to, "send.", msg)
+	err := n.send(n.envelope(ctx, to, seq, msg))
+	sp.Finish(err)
+	return err
+}
+
+// span starts a send-side transport span for msg when tracing is on.
+func (n *Node) span(ctx context.Context, to wire.SiteID, prefix string, msg wire.Message) (context.Context, *trace.Span) {
+	ctx, sp := n.cfg.Tracer.Start(ctx, n.cfg.ID, prefix+msg.Kind().String())
+	if sp != nil {
+		sp.SetAttr("peer", strconv.Itoa(int(to)))
+	}
+	return ctx, sp
+}
+
+// envelope builds an outbound request envelope carrying ctx's trace
+// context, if any.
+func (n *Node) envelope(ctx context.Context, to wire.SiteID, seq uint64, msg wire.Message) *wire.Envelope {
+	env := &wire.Envelope{From: n.cfg.ID, To: to, Seq: seq, Msg: msg}
+	if n.cfg.Tracer.Enabled() {
+		if sc := trace.FromContext(ctx); sc.Valid() {
+			env.TraceID, env.SpanID = uint64(sc.Trace), uint64(sc.Span)
+		}
+	}
+	return env
 }
 
 // Close implements transport.Node.

@@ -7,13 +7,15 @@ import (
 	"testing"
 	"time"
 
+	"avdb/internal/metrics"
 	"avdb/internal/site"
 	"avdb/internal/storage"
+	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/wire"
 )
 
-func echo(from wire.SiteID, msg wire.Message) wire.Message {
+func echo(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 	if r, ok := msg.(*wire.Read); ok {
 		return &wire.ReadReply{OK: true, Value: int64(len(r.Key))}
 	}
@@ -188,14 +190,14 @@ func TestFullSitesOverTCP(t *testing.T) {
 	var mu sync.Mutex
 	for i := 0; i < n; i++ {
 		idx := i
-		h := func(from wire.SiteID, msg wire.Message) wire.Message {
+		h := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 			mu.Lock()
 			hh := handlers[idx]
 			mu.Unlock()
 			if hh == nil {
 				return nil
 			}
-			return hh(from, msg)
+			return hh(ctx, from, msg)
 		}
 		node, err := Open(Config{ID: wire.SiteID(i), Listen: "127.0.0.1:0"}, h)
 		if err != nil {
@@ -276,6 +278,126 @@ func TestFullSitesOverTCP(t *testing.T) {
 		if v, _ := sites[i].Read("reg"); v != 400 {
 			t.Fatalf("site %d reg = %d", i, v)
 		}
+	}
+}
+
+// TestRedialAfterStaleConnection exercises send()'s retry path: when the
+// cached outgoing connection has died underneath us (peer kept its
+// listener, only the socket broke), the first write fails, the
+// connection is dropped, and one redial must complete the call.
+func TestRedialAfterStaleConnection(t *testing.T) {
+	n1, _ := pair(t, echo, echo)
+	if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "ab"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the established outgoing socket behind the node's back. The
+	// cached peerConn stays in n1.conns, so the next send writes to a
+	// dead connection.
+	n1.mu.Lock()
+	pc := n1.conns[2]
+	n1.mu.Unlock()
+	if pc == nil {
+		t.Fatal("no cached connection to peer 2 after a successful call")
+	}
+	pc.conn.Close()
+
+	reply, err := n1.Call(context.Background(), 2, &wire.Read{Key: "abc"})
+	if err != nil {
+		t.Fatalf("call over stale connection did not redial: %v", err)
+	}
+	if reply.(*wire.ReadReply).Value != 3 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// The broken connection must have been replaced, not resurrected.
+	n1.mu.Lock()
+	fresh := n1.conns[2]
+	n1.mu.Unlock()
+	if fresh == pc {
+		t.Fatal("stale peerConn still cached after redial")
+	}
+}
+
+// TestRegistryCountsExchanges verifies tcpnet charges both directions of
+// a call to the initiating site, matching memnet's attribution.
+func TestRegistryCountsExchanges(t *testing.T) {
+	reg := metrics.NewRegistry()
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0", Registry: reg}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0", Registry: reg}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr())
+
+	for i := 0; i < 3; i++ {
+		if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bySite := reg.MessagesBySite()
+	if bySite[1] != 6 { // 3 requests + 3 replies, all charged to site 1
+		t.Fatalf("site 1 charged %d messages, want 6", bySite[1])
+	}
+	if bySite[2] != 0 {
+		t.Fatalf("site 2 charged %d messages, want 0", bySite[2])
+	}
+}
+
+// TestTraceContextPropagatesOverTCP verifies the envelope carries the
+// caller's span across the socket: the receiver's recv span must parent
+// to the sender's call span within the same trace.
+func TestTraceContextPropagatesOverTCP(t *testing.T) {
+	tr := trace.New(64)
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0", Tracer: tr}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0", Tracer: tr}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr())
+
+	ctx, root := tr.Start(context.Background(), 1, "test.root")
+	if _, err := n1.Call(ctx, 2, &wire.Read{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	root.EndSpan()
+
+	var call, recv *trace.Span
+	deadline := time.Now().Add(2 * time.Second)
+	for call == nil || recv == nil {
+		for _, sp := range tr.Trace(root.Context().Trace) {
+			sp := sp
+			switch sp.Name {
+			case "call.read":
+				call = &sp
+			case "recv.read":
+				recv = &sp
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("spans missing: call=%v recv=%v", call, recv)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if call.Parent != root.Context().Span {
+		t.Fatalf("call span parent = %s, want root %s", call.Parent, root.Context().Span)
+	}
+	if recv.Parent != call.ID {
+		t.Fatalf("recv span parent = %s, want call %s", recv.Parent, call.ID)
+	}
+	if recv.Site != 2 || call.Site != 1 {
+		t.Fatalf("span sites: call=%d recv=%d", call.Site, recv.Site)
 	}
 }
 

@@ -29,10 +29,14 @@ var (
 )
 
 // Handler processes one inbound request and returns the reply message.
-// Returning nil sends no reply (the caller's Call will time out, so nil
-// is only appropriate for one-way traffic delivered via Send). Handlers
-// may be invoked concurrently and must be safe for concurrent use.
-type Handler func(from wire.SiteID, msg wire.Message) wire.Message
+// ctx carries the sender's distributed-tracing span context (when the
+// envelope was traced), so spans the handler starts parent back to the
+// remote caller; it is not a cancellation signal — the transport does
+// not cancel handlers. Returning nil sends no reply (the caller's Call
+// will time out, so nil is only appropriate for one-way traffic
+// delivered via Send). Handlers may be invoked concurrently and must be
+// safe for concurrent use.
+type Handler func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message
 
 // Node is one site's endpoint on the network.
 type Node interface {
@@ -40,9 +44,11 @@ type Node interface {
 	ID() wire.SiteID
 	// Call sends req to site to and blocks until the reply arrives, the
 	// context is done, or the destination is known to be unreachable.
+	// ctx's trace span context, if any, rides in the envelope.
 	Call(ctx context.Context, to wire.SiteID, req wire.Message) (wire.Message, error)
-	// Send delivers msg to site to without waiting for a reply.
-	Send(to wire.SiteID, msg wire.Message) error
+	// Send delivers msg to site to without waiting for a reply. ctx only
+	// propagates trace context; Send never blocks on the network.
+	Send(ctx context.Context, to wire.SiteID, msg wire.Message) error
 	// Close detaches the node from the network and releases resources.
 	Close() error
 }

@@ -21,11 +21,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"avdb/internal/storage"
+	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/txn"
 	"avdb/internal/wire"
@@ -69,6 +71,8 @@ type Options struct {
 	// PreparedTTL is how long a participant holds a prepared transaction
 	// before presuming abort (default 10s).
 	PreparedTTL time.Duration
+	// Tracer records protocol spans (nil disables tracing).
+	Tracer *trace.Tracer
 }
 
 // Engine runs both coordinator and participant roles for one site.
@@ -112,7 +116,12 @@ func (e *Engine) newTxnID() uint64 {
 
 // Update coordinates one Immediate Update of key by delta across peers
 // (every other site). On success the update is applied at every site.
-func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, delta int64) error {
+func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, delta int64) (err error) {
+	ctx, sp := e.opts.Tracer.Start(ctx, e.opts.Site, "iu.update")
+	if sp != nil {
+		sp.SetAttr("key", key)
+		defer func() { sp.Finish(err) }()
+	}
 	txnID := e.newTxnID()
 
 	// Local tentative apply under lock — the coordinator is also the
@@ -226,9 +235,15 @@ func (e *Engine) tentative(ctx context.Context, tx *txn.Txn, key string, delta i
 	return e.opts.Validate(before, after)
 }
 
-// HandlePrepare is the participant's phase-1 handler.
-func (e *Engine) HandlePrepare(from wire.SiteID, msg *wire.IUPrepare) *wire.IUVote {
-	ctx, cancel := context.WithTimeout(context.Background(), e.opts.PrepareTimeout)
+// HandlePrepare is the participant's phase-1 handler. ctx carries the
+// coordinator's trace context, not a cancellation signal.
+func (e *Engine) HandlePrepare(ctx context.Context, from wire.SiteID, msg *wire.IUPrepare) *wire.IUVote {
+	ctx, sp := e.opts.Tracer.Start(ctx, e.opts.Site, "iu.prepare")
+	if sp != nil {
+		sp.SetAttr("key", msg.Key)
+		defer sp.EndSpan()
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
 	defer cancel()
 	tx := e.tm.Begin()
 	if err := e.tentative(ctx, tx, msg.Key, msg.Delta); err != nil {
@@ -242,7 +257,12 @@ func (e *Engine) HandlePrepare(from wire.SiteID, msg *wire.IUPrepare) *wire.IUVo
 }
 
 // HandleDecision is the participant's phase-2 handler.
-func (e *Engine) HandleDecision(from wire.SiteID, msg *wire.IUDecision) *wire.IUAck {
+func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire.IUDecision) *wire.IUAck {
+	_, sp := e.opts.Tracer.Start(ctx, e.opts.Site, "iu.decision")
+	if sp != nil {
+		sp.SetAttr("commit", strconv.FormatBool(msg.Commit))
+		defer sp.EndSpan()
+	}
 	e.mu.Lock()
 	p := e.prepared[msg.TxnID]
 	delete(e.prepared, msg.TxnID)

@@ -37,12 +37,12 @@ func newHarness(t *testing.T, n int, initial int64) *harness {
 		tm := txn.NewManager(eng, lockmgr.Options{WaitTimeout: 300 * time.Millisecond})
 		e := New(Options{Site: wire.SiteID(i), Base: 0, PrepareTimeout: 500 * time.Millisecond}, tm)
 		node, err := h.net.Open(wire.SiteID(i), func(e *Engine) transport.Handler {
-			return func(from wire.SiteID, msg wire.Message) wire.Message {
+			return func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 				switch m := msg.(type) {
 				case *wire.IUPrepare:
-					return e.HandlePrepare(from, m)
+					return e.HandlePrepare(ctx, from, m)
 				case *wire.IUDecision:
-					return e.HandleDecision(from, m)
+					return e.HandleDecision(ctx, from, m)
 				}
 				return nil
 			}
@@ -200,7 +200,7 @@ func TestConcurrentUpdatesSerialize(t *testing.T) {
 func TestSweepAbortsOrphanedPrepares(t *testing.T) {
 	h := newHarness(t, 2, 100)
 	// Prepare directly (simulating a coordinator that died before phase 2).
-	vote := h.engines[1].HandlePrepare(0, &wire.IUPrepare{TxnID: 999, Coord: 0, Key: "k", Delta: -10})
+	vote := h.engines[1].HandlePrepare(context.Background(), 0, &wire.IUPrepare{TxnID: 999, Coord: 0, Key: "k", Delta: -10})
 	if !vote.OK {
 		t.Fatalf("prepare refused: %s", vote.Reason)
 	}
@@ -225,11 +225,11 @@ func TestSweepAbortsOrphanedPrepares(t *testing.T) {
 
 func TestDecisionForUnknownTxn(t *testing.T) {
 	h := newHarness(t, 2, 100)
-	ack := h.engines[1].HandleDecision(0, &wire.IUDecision{TxnID: 12345, Commit: true})
+	ack := h.engines[1].HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 12345, Commit: true})
 	if ack.OK {
 		t.Fatal("acked commit of unknown txn")
 	}
-	ack = h.engines[1].HandleDecision(0, &wire.IUDecision{TxnID: 12345, Commit: false})
+	ack = h.engines[1].HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 12345, Commit: false})
 	if !ack.OK {
 		t.Fatal("abort of unknown txn must be presumed fine")
 	}
@@ -254,12 +254,12 @@ func TestBaseAckRequiredForCompletion(t *testing.T) {
 		tm := txn.NewManager(eng, lockmgr.Options{WaitTimeout: 300 * time.Millisecond})
 		e := New(Options{Site: wire.SiteID(i), Base: 0, PrepareTimeout: 300 * time.Millisecond}, tm)
 		node, err := net.Open(wire.SiteID(i), func(e *Engine) transport.Handler {
-			return func(from wire.SiteID, msg wire.Message) wire.Message {
+			return func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 				switch m := msg.(type) {
 				case *wire.IUPrepare:
-					return e.HandlePrepare(from, m)
+					return e.HandlePrepare(ctx, from, m)
 				case *wire.IUDecision:
-					return e.HandleDecision(from, m)
+					return e.HandleDecision(ctx, from, m)
 				}
 				return nil
 			}
@@ -297,12 +297,12 @@ func BenchmarkImmediateUpdate3Sites(b *testing.B) {
 		tm := txn.NewManager(eng, lockmgr.Options{})
 		e := New(Options{Site: wire.SiteID(i), Base: 0}, tm)
 		node, _ := net.Open(wire.SiteID(i), func(e *Engine) transport.Handler {
-			return func(from wire.SiteID, msg wire.Message) wire.Message {
+			return func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
 				switch m := msg.(type) {
 				case *wire.IUPrepare:
-					return e.HandlePrepare(from, m)
+					return e.HandlePrepare(ctx, from, m)
 				case *wire.IUDecision:
-					return e.HandleDecision(from, m)
+					return e.HandleDecision(ctx, from, m)
 				}
 				return nil
 			}

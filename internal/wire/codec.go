@@ -24,6 +24,9 @@ var (
 	ErrTruncated = errors.New("wire: truncated message")
 	ErrTooLong   = errors.New("wire: length prefix exceeds remaining data")
 	ErrBadKind   = errors.New("wire: unknown message kind")
+	// ErrBadVersion reports an envelope from a newer (or corrupted) codec
+	// revision than this build understands.
+	ErrBadVersion = errors.New("wire: unsupported envelope version")
 )
 
 // appendUvarint appends v to b in unsigned varint encoding.

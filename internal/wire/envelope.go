@@ -1,22 +1,68 @@
 package wire
 
+import "fmt"
+
 // Envelope is the unit the transport moves between sites: routing header
 // plus one protocol message. Seq correlates requests with replies (the
 // RPC layer assigns it); IsReply distinguishes the two directions of the
-// same Seq.
+// same Seq. TraceID/SpanID, when nonzero, carry the distributed-tracing
+// context of the exchange (SpanID is the *sender's* span, which becomes
+// the parent of whatever span the receiver starts).
 type Envelope struct {
 	From    SiteID
 	To      SiteID
 	Seq     uint64
 	IsReply bool
 	Msg     Message
+
+	// Trace context (codec v2). Zero TraceID means untraced, and an
+	// untraced envelope is encoded in the legacy v1 format — tracing
+	// disabled costs zero wire bytes and stays readable by old peers.
+	TraceID uint64
+	SpanID  uint64
 }
 
-// EncodeEnvelope serializes e into a fresh byte slice.
+// Codec versioning. v1 envelopes start directly with the From uvarint.
+// v2 envelopes start with verMarker, followed by an explicit version, a
+// flags byte, and any versioned extensions before the v1 header. The
+// marker is unambiguous on decode because the encoder never emits a v1
+// envelope beginning with that byte: the only From values whose uvarint
+// starts with 0xF5 (From ≡ 117 mod 128, above 127 — never seen in real
+// deployments, where site IDs are small dense integers) are themselves
+// encoded as v2.
+const (
+	verMarker    = 0xF5
+	codecVersion = 2
+
+	flagTrace = 0x01 // envelope carries traceID + spanID
+)
+
+// needsV2 reports whether e cannot be expressed in the legacy format:
+// it carries trace context, or its From uvarint would collide with the
+// version marker.
+func needsV2(e *Envelope) bool {
+	return e.TraceID != 0 || (e.From > 0x7F && e.From&0x7F == verMarker&0x7F)
+}
+
+// EncodeEnvelope serializes e into a fresh byte slice. Envelopes without
+// trace context use the v1 format byte-for-byte.
 func EncodeEnvelope(e *Envelope) []byte {
 	// Typical envelopes are small; 64 bytes covers all fixed fields plus a
 	// short key without reallocation.
 	b := make([]byte, 0, 64)
+	if needsV2(e) {
+		b = append(b, verMarker)
+		b = appendUvarint(b, codecVersion)
+		var flags byte
+		if e.TraceID != 0 {
+			flags |= flagTrace
+		}
+		b = append(b, flags)
+		if e.TraceID != 0 {
+			b = appendUvarint(b, e.TraceID)
+			b = appendUvarint(b, e.SpanID)
+		}
+	}
 	b = appendUvarint(b, uint64(e.From))
 	b = appendUvarint(b, uint64(e.To))
 	b = appendUvarint(b, e.Seq)
@@ -25,11 +71,38 @@ func EncodeEnvelope(e *Envelope) []byte {
 	return e.Msg.encode(b)
 }
 
-// DecodeEnvelope parses an envelope produced by EncodeEnvelope. The
-// payload must consume the buffer exactly; trailing bytes are an error.
+// DecodeEnvelope parses an envelope produced by EncodeEnvelope — either
+// the legacy v1 format or the v2 format with extensions. The payload
+// must consume the buffer exactly; trailing bytes are an error.
 func DecodeEnvelope(b []byte) (*Envelope, error) {
 	r := &reader{b: b}
 	e := &Envelope{}
+	if len(b) > 0 && b[0] == verMarker {
+		r.b = r.b[1:]
+		ver, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ver != codecVersion {
+			return nil, fmt.Errorf("%w: codec version %d", ErrBadVersion, ver)
+		}
+		if r.remaining() < 1 {
+			return nil, ErrTruncated
+		}
+		flags := r.b[0]
+		r.b = r.b[1:]
+		if flags&^flagTrace != 0 {
+			return nil, fmt.Errorf("%w: unknown envelope flags %#x", ErrBadVersion, flags)
+		}
+		if flags&flagTrace != 0 {
+			if e.TraceID, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+			if e.SpanID, err = r.uvarint(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	from, err := r.uvarint()
 	if err != nil {
 		return nil, err

@@ -70,6 +70,126 @@ func normalize(m Message) Message {
 	return m
 }
 
+// encodeLegacyV1 hand-builds the version-less v1 envelope format old
+// peers emitted, independent of the current encoder.
+func encodeLegacyV1(e *Envelope) []byte {
+	b := make([]byte, 0, 64)
+	b = appendUvarint(b, uint64(e.From))
+	b = appendUvarint(b, uint64(e.To))
+	b = appendUvarint(b, e.Seq)
+	b = appendBool(b, e.IsReply)
+	b = append(b, byte(e.Msg.Kind()))
+	return e.Msg.encode(b)
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	in := &Envelope{From: 1, To: 2, Seq: 9, TraceID: 0xdeadbeef, SpanID: 0xcafe,
+		Msg: &AVRequest{Key: "p1", Amount: -5}}
+	raw := EncodeEnvelope(in)
+	if raw[0] != verMarker {
+		t.Fatalf("traced envelope not v2: first byte %#x", raw[0])
+	}
+	out, err := DecodeEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID {
+		t.Fatalf("trace context lost: %+v", out)
+	}
+	if out.From != 1 || out.To != 2 || out.Seq != 9 {
+		t.Fatalf("header lost: %+v", out)
+	}
+	if out.Msg.(*AVRequest).Key != "p1" {
+		t.Fatalf("payload lost: %+v", out.Msg)
+	}
+}
+
+func TestUntracedEnvelopeStaysV1(t *testing.T) {
+	in := &Envelope{From: 3, To: 9, Seq: 77, Msg: &Read{Key: "k"}}
+	raw := EncodeEnvelope(in)
+	legacy := encodeLegacyV1(in)
+	if string(raw) != string(legacy) {
+		t.Fatalf("untraced envelope diverged from v1 bytes:\n got %x\nwant %x", raw, legacy)
+	}
+	out, err := DecodeEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 0 || out.SpanID != 0 {
+		t.Fatalf("phantom trace context: %+v", out)
+	}
+}
+
+func TestLegacyV1EnvelopesStillDecode(t *testing.T) {
+	msgs := []Message{
+		&AVRequest{Key: "p17", Amount: -42},
+		&DeltaSync{Origin: 1, Deltas: []Delta{{Seq: 1, Key: "a", Amount: -3}}},
+		&IUPrepare{TxnID: 99, Coord: 1, Key: "nonreg-4", Delta: -10},
+		&SyncPull{},
+	}
+	for _, m := range msgs {
+		in := &Envelope{From: 2, To: 0, Seq: 1234, Msg: m}
+		out, err := DecodeEnvelope(encodeLegacyV1(in))
+		if err != nil {
+			t.Fatalf("legacy %T: %v", m, err)
+		}
+		if out.From != in.From || out.Seq != in.Seq || out.Msg.Kind() != m.Kind() {
+			t.Fatalf("legacy %T mangled: %+v", m, out)
+		}
+	}
+}
+
+func TestMarkerCollidingFromRoundTrips(t *testing.T) {
+	// From values whose v1 uvarint would begin with the version marker
+	// must be encoded as v2 and still round-trip.
+	for _, from := range []SiteID{245, 245 + 128, 245 + 128*1000} {
+		in := &Envelope{From: from, To: 1, Seq: 5, Msg: &Read{Key: "k"}}
+		raw := EncodeEnvelope(in)
+		if raw[0] != verMarker {
+			t.Fatalf("from=%d: expected v2 encoding, first byte %#x", from, raw[0])
+		}
+		out, err := DecodeEnvelope(raw)
+		if err != nil {
+			t.Fatalf("from=%d: %v", from, err)
+		}
+		if out.From != from {
+			t.Fatalf("from=%d round-tripped to %d", from, out.From)
+		}
+	}
+}
+
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	b := []byte{verMarker}
+	b = appendUvarint(b, 99) // claimed codec version 99
+	b = append(b, 0)
+	if _, err := DecodeEnvelope(b); err == nil {
+		t.Fatal("future version accepted")
+	}
+	// Unknown flag bits must also fail loudly rather than misparse.
+	b = []byte{verMarker}
+	b = appendUvarint(b, codecVersion)
+	b = append(b, 0x80)
+	if _, err := DecodeEnvelope(b); err == nil {
+		t.Fatal("unknown flags accepted")
+	}
+}
+
+func TestQuickTraceContextRoundTrip(t *testing.T) {
+	f := func(traceID, spanID uint64, from uint32, key string) bool {
+		in := &Envelope{From: SiteID(from), To: 7, Seq: 3, TraceID: traceID, SpanID: spanID,
+			Msg: &AVRequest{Key: key, Amount: 1}}
+		out, err := DecodeEnvelope(EncodeEnvelope(in))
+		if err != nil {
+			return false
+		}
+		return out.TraceID == traceID && out.From == in.From &&
+			(traceID == 0 || out.SpanID == spanID)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestKindStrings(t *testing.T) {
 	if KindAVRequest.String() != "av.request" {
 		t.Fatalf("got %q", KindAVRequest.String())
@@ -104,12 +224,15 @@ func TestDecodeRejectsTrailingBytes(t *testing.T) {
 }
 
 func TestDecodeRejectsTruncations(t *testing.T) {
-	full := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 1 << 40, Msg: &AVReply{
+	msg := &AVReply{
 		Key: "product-123", Granted: 999, View: []AVInfo{{Site: 5, Key: "product-123", Avail: 77}},
-	}})
-	for n := 0; n < len(full); n++ {
-		if _, err := DecodeEnvelope(full[:n]); err == nil {
-			t.Fatalf("truncation to %d bytes accepted", n)
+	}
+	for _, traceID := range []uint64{0, 0xfeedface} { // v1 and v2 formats
+		full := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 1 << 40, TraceID: traceID, SpanID: 7, Msg: msg})
+		for n := 0; n < len(full); n++ {
+			if _, err := DecodeEnvelope(full[:n]); err == nil {
+				t.Fatalf("trace=%#x: truncation to %d bytes accepted", traceID, n)
+			}
 		}
 	}
 }
