@@ -6,6 +6,11 @@
 //	avbench -sweep initial    # initial stock (AV headroom)
 //	avbench -sweep decrease   # retailer demand intensity
 //	avbench -sweep passes     # AV gathering passes
+//
+// It can also snapshot the fast-path micro-benchmarks as JSON (the
+// committed BENCH_2.json):
+//
+//	avbench -perf BENCH_2.json
 package main
 
 import (
@@ -22,8 +27,17 @@ func main() {
 		updates = flag.Int("updates", 5000, "updates per configuration")
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		out     = flag.String("o", "", "output file (default stdout)")
+		perf    = flag.String("perf", "", `write a perf snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
 	)
 	flag.Parse()
+
+	if *perf != "" {
+		if err := runPerf(*perf); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := os.Stdout
 	if *out != "" {

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"avdb/internal/cluster"
+	"avdb/internal/transport"
+	"avdb/internal/transport/tcpnet"
+	"avdb/internal/wire"
+)
+
+// perfResult is the schema of the BENCH_2.json snapshot: the fast-path
+// micro-benchmarks that guard the striped-locking / write-coalescing
+// work, in a form the repo can commit and diff.
+type perfResult struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	Procs     int    `json:"go_max_procs"`
+
+	// Delay Updates against one site, all cores vs one goroutine.
+	LocalSerialNsOp   float64 `json:"local_decrement_serial_ns_op"`
+	LocalParallelNsOp float64 `json:"local_decrement_parallel_ns_op"`
+	// ParallelSpeedup is serial/parallel per-op time; it is bounded above
+	// by NumCPU, so on a single-core host ~1.0 is the best possible.
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// Concurrent clients on all sites of a 3-site memnet cluster with
+	// periodic replication flushes.
+	MemnetThroughputNsOp float64 `json:"cluster_throughput_memnet_ns_op"`
+
+	// One-way tcpnet sends over loopback (frame coalescing path).
+	// Allocation counts include the receiving node's decode side.
+	TCPSendNsOp     float64 `json:"tcp_send_ns_op"`
+	TCPSendAllocsOp float64 `json:"tcp_send_allocs_op"`
+	TCPSendBytesOp  float64 `json:"tcp_send_bytes_op"`
+}
+
+// runPerf measures the snapshot and writes it as JSON to path.
+func runPerf(path string) error {
+	res := perfResult{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Procs:     runtime.GOMAXPROCS(0),
+	}
+
+	serial := testing.Benchmark(benchLocalDecrement(false))
+	parallel := testing.Benchmark(benchLocalDecrement(true))
+	res.LocalSerialNsOp = nsPerOp(serial)
+	res.LocalParallelNsOp = nsPerOp(parallel)
+	if res.LocalParallelNsOp > 0 {
+		res.ParallelSpeedup = res.LocalSerialNsOp / res.LocalParallelNsOp
+	}
+
+	res.MemnetThroughputNsOp = nsPerOp(testing.Benchmark(benchMemnetThroughput))
+
+	tcp := testing.Benchmark(benchTCPSend)
+	res.TCPSendNsOp = nsPerOp(tcp)
+	res.TCPSendAllocsOp = float64(tcp.AllocsPerOp())
+	res.TCPSendBytesOp = float64(tcp.AllocedBytesPerOp())
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// benchLocalDecrement mirrors BenchmarkLocalDecrementParallel (and its
+// serial baseline): Delay Updates into one site of a 3-site memnet
+// cluster, spread across 64 keys.
+func benchLocalDecrement(parallelized bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		c, err := cluster.New(cluster.Config{Sites: 3, Items: 64, InitialAmount: 1 << 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		keys := c.RegularKeys
+		ctx := context.Background()
+		b.ResetTimer()
+		if !parallelized {
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Sites[1].Update(ctx, keys[i%len(keys)], -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return
+		}
+		var gctr atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(gctr.Add(1)) * 7
+			for pb.Next() {
+				if _, err := c.Sites[1].Update(ctx, keys[i%len(keys)], -1); err != nil {
+					b.Error(err)
+					return
+				}
+				i++
+			}
+		})
+	}
+}
+
+// benchMemnetThroughput mirrors BenchmarkClusterThroughputMemnet:
+// clients on every site, flushing replication every 512 updates.
+func benchMemnetThroughput(b *testing.B) {
+	c, err := cluster.New(cluster.Config{Sites: 3, Items: 64, InitialAmount: 1 << 40})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	keys := c.RegularKeys
+	ctx := context.Background()
+	var gctr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(gctr.Add(1))
+		s := c.Sites[g%len(c.Sites)]
+		i := g * 7
+		for pb.Next() {
+			if _, err := s.Update(ctx, keys[i%len(keys)], -1); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+			if i%512 == 0 {
+				if err := s.Flush(ctx); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}
+	})
+}
+
+// benchTCPSend mirrors tcpnet's BenchmarkSendAllocs: one-way sends
+// between two loopback nodes.
+func benchTCPSend(b *testing.B) {
+	discard := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil }
+	var nodes [2]*tcpnet.Node
+	for i := range nodes {
+		n, err := tcpnet.Open(tcpnet.Config{ID: wire.SiteID(i + 1), Listen: "127.0.0.1:0"},
+			transport.Handler(discard))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer n.Close()
+		nodes[i] = n
+	}
+	nodes[0].AddPeer(2, nodes[1].Addr())
+	nodes[1].AddPeer(1, nodes[0].Addr())
+	ctx := context.Background()
+	msg := &wire.DeltaAck{Origin: 1, UpTo: 42}
+	if err := nodes[0].Send(ctx, 2, msg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Send(ctx, 2, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

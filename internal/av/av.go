@@ -14,6 +14,10 @@
 // (paper §3.3: "extra AV can be used by other process while one process
 // accesses the same data"). Aborting releases the hold — the paper's
 // compensating "opposite of update volume".
+//
+// The table is hash-striped: every operation touches exactly one key,
+// so entries are partitioned across independently locked shards and
+// concurrent Delay Updates to different keys never serialize here.
 package av
 
 import (
@@ -29,8 +33,26 @@ var (
 	ErrNegative  = errors.New("av: negative amount")
 )
 
+// numShards partitions the table; a power of two so the shard index is
+// a mask.
+const numShards = 64
+
+// shardOf hashes a key (FNV-1a) to its shard index.
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (numShards - 1))
+}
+
 // Table is one site's AV management table. It is safe for concurrent use.
 type Table struct {
+	shards [numShards]tableShard
+}
+
+type tableShard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 }
@@ -42,7 +64,18 @@ type entry struct {
 
 // NewTable creates an empty table.
 func NewTable() *Table {
-	return &Table{entries: make(map[string]*entry)}
+	t := &Table{}
+	for i := range t.shards {
+		t.shards[i].entries = make(map[string]*entry)
+	}
+	return t
+}
+
+// shard returns the locked shard for key; the caller must unlock it.
+func (t *Table) shard(key string) *tableShard {
+	s := &t.shards[shardOf(key)]
+	s.mu.Lock()
+	return s
 }
 
 // Define declares an AV for key with an initial available volume. It is
@@ -53,12 +86,12 @@ func (t *Table) Define(key string, initial int64) error {
 	if initial < 0 {
 		return ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		e = &entry{}
-		t.entries[key] = e
+		s.entries[key] = e
 	}
 	e.avail += initial
 	return nil
@@ -66,17 +99,17 @@ func (t *Table) Define(key string, initial int64) error {
 
 // Defined reports whether an AV exists for key — the checking function.
 func (t *Table) Defined(key string) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, ok := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
 	return ok
 }
 
 // Avail returns the free (unheld) volume for key, 0 if undefined.
 func (t *Table) Avail(key string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e := t.entries[key]; e != nil {
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
 		return e.avail
 	}
 	return 0
@@ -84,9 +117,9 @@ func (t *Table) Avail(key string) int64 {
 
 // Held returns the volume currently reserved by in-flight updates.
 func (t *Table) Held(key string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e := t.entries[key]; e != nil {
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
 		return e.held
 	}
 	return 0
@@ -94,9 +127,9 @@ func (t *Table) Held(key string) int64 {
 
 // Total returns avail + held.
 func (t *Table) Total(key string) int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e := t.entries[key]; e != nil {
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	if e := s.entries[key]; e != nil {
 		return e.avail + e.held
 	}
 	return 0
@@ -109,9 +142,9 @@ func (t *Table) AcquireUpTo(key string, want int64) (int64, error) {
 	if want < 0 {
 		return 0, ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return 0, ErrUndefined
 	}
@@ -130,9 +163,9 @@ func (t *Table) Acquire(key string, n int64) (bool, error) {
 	if n < 0 {
 		return false, ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return false, ErrUndefined
 	}
@@ -151,9 +184,9 @@ func (t *Table) CreditHeld(key string, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return ErrUndefined
 	}
@@ -167,9 +200,9 @@ func (t *Table) Release(key string, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return ErrUndefined
 	}
@@ -188,9 +221,9 @@ func (t *Table) Consume(key string, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return ErrUndefined
 	}
@@ -207,9 +240,9 @@ func (t *Table) Credit(key string, n int64) error {
 	if n < 0 {
 		return ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return ErrUndefined
 	}
@@ -224,9 +257,9 @@ func (t *Table) Debit(key string, n int64) (int64, error) {
 	if n < 0 {
 		return 0, ErrNegative
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	e := t.entries[key]
+	s := t.shard(key)
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return 0, ErrUndefined
 	}
@@ -240,22 +273,30 @@ func (t *Table) Debit(key string, n int64) (int64, error) {
 
 // Keys returns the defined keys (unordered).
 func (t *Table) Keys() []string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]string, 0, len(t.entries))
-	for k := range t.entries {
-		out = append(out, k)
+	var out []string
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			out = append(out, k)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // Snapshot returns key -> available volume for gossip piggybacking.
+// Shards are visited one at a time, so the view across keys may be
+// slightly stale — gossip consumers tolerate staleness by design.
 func (t *Table) Snapshot() map[string]int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[string]int64, len(t.entries))
-	for k, e := range t.entries {
-		out[k] = e.avail
+	out := make(map[string]int64)
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			out[k] = e.avail
+		}
+		s.mu.Unlock()
 	}
 	return out
 }

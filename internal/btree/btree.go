@@ -289,6 +289,53 @@ func (t *Tree) AscendRange(from, to string, fn func(key string, value []byte) bo
 	}
 }
 
+// Iterator walks a tree's leaves in ascending key order. It is
+// positioned with IterFrom and invalidated by any mutation of the tree;
+// callers must hold whatever lock protects the tree for the iterator's
+// whole lifetime.
+type Iterator struct {
+	n *node
+	i int
+}
+
+// IterFrom returns an iterator positioned at the first key >= from.
+func (t *Tree) IterFrom(from string) Iterator {
+	n := t.root
+	if n == nil {
+		return Iterator{}
+	}
+	for !n.leaf {
+		n = n.children[n.childIndex(from)]
+	}
+	i, _ := n.leafIndex(from)
+	it := Iterator{n: n, i: i}
+	it.skipExhausted()
+	return it
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return it.n != nil }
+
+// Key returns the current entry's key. Valid must be true.
+func (it *Iterator) Key() string { return it.n.keys[it.i] }
+
+// Value returns the current entry's value. Valid must be true.
+func (it *Iterator) Value() []byte { return it.n.vals[it.i] }
+
+// Next advances to the following entry (Valid reports whether one exists).
+func (it *Iterator) Next() {
+	it.i++
+	it.skipExhausted()
+}
+
+// skipExhausted moves past empty tails onto the next populated leaf.
+func (it *Iterator) skipExhausted() {
+	for it.n != nil && it.i >= len(it.n.keys) {
+		it.n = it.n.next
+		it.i = 0
+	}
+}
+
 // Min returns the smallest key, or "" and false when the tree is empty.
 func (t *Tree) Min() (string, bool) {
 	n := t.root

@@ -7,6 +7,18 @@
 // deadlocks are detected eagerly by a waits-for-graph cycle search at
 // block time — the requester that would close the cycle is the victim
 // and gets ErrDeadlock.
+//
+// The lock table is hash-partitioned into shards, each with its own
+// mutex, so transactions locking unrelated keys never contend on one
+// global mutex. Cross-shard state (which keys a transaction holds,
+// which key it waits on) lives behind small dedicated mutexes with a
+// fixed acquisition order — waiting-graph mutex, then one shard at a
+// time, then a held-set shard mutex (partitioned by TxnID) — so the
+// manager itself cannot deadlock. The cycle detector inspects shards one by one without a
+// global freeze; under true concurrency it may therefore pick a victim
+// from a cycle that a concurrent release is already breaking (a benign
+// spurious abort), and a cycle it misses is still cut by the wait
+// timeout.
 package lockmgr
 
 import (
@@ -49,14 +61,64 @@ type Options struct {
 	WaitTimeout time.Duration
 }
 
+// numShards partitions the lock table; a power of two so the shard
+// index is a mask.
+const numShards = 64
+
+// shardOf hashes a key (FNV-1a) to its shard index.
+func shardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (numShards - 1))
+}
+
+// shard is one partition of the lock table. free is a one-slot
+// lockState recycler so the common lock/release churn of a key does not
+// allocate a fresh state (and holders map) every transaction.
+type shard struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+	free  *lockState
+}
+
+// heldShard is one partition of the cross-shard held set, partitioned
+// by TxnID so concurrent transactions record their grants without a
+// single global mutex. The per-txn key set is a small slice: almost
+// every transaction holds a handful of keys, and a linear scan beats a
+// map allocation per transaction.
+type heldShard struct {
+	mu   sync.Mutex
+	held map[TxnID][]heldEntry
+}
+
+type heldEntry struct {
+	key  string
+	mode Mode
+}
+
 // Manager is a lock table. It is safe for concurrent use.
 type Manager struct {
 	opts Options
 
-	mu        sync.Mutex
-	locks     map[string]*lockState
-	held      map[TxnID]map[string]Mode // txn -> keys it holds
-	waitingOn map[TxnID]string          // txn -> key it is blocked on
+	shards [numShards]shard
+
+	// heldShards guard the held set, partitioned by TxnID. They are
+	// leaves: one may be taken while holding a shard mutex, and nothing
+	// is acquired under one.
+	heldShards [numShards]heldShard
+
+	// wmu guards waitingOn and orders before shard mutexes: the cycle
+	// detector holds wmu while visiting shards one at a time.
+	wmu       sync.Mutex
+	waitingOn map[TxnID]string // txn -> key it is blocked on
+}
+
+// heldShardOf returns the held-set partition for txn.
+func (m *Manager) heldShardOf(txn TxnID) *heldShard {
+	return &m.heldShards[uint64(txn)&(numShards-1)]
 }
 
 type lockState struct {
@@ -69,7 +131,7 @@ type waiter struct {
 	mode     Mode
 	upgrade  bool
 	canceled bool
-	ready    chan struct{} // closed when granted
+	ready    chan struct{} // closed when granted, under the shard mutex
 }
 
 // New creates a Manager.
@@ -77,12 +139,15 @@ func New(opts Options) *Manager {
 	if opts.WaitTimeout <= 0 {
 		opts.WaitTimeout = 5 * time.Second
 	}
-	return &Manager{
+	m := &Manager{
 		opts:      opts,
-		locks:     make(map[string]*lockState),
-		held:      make(map[TxnID]map[string]Mode),
 		waitingOn: make(map[TxnID]string),
 	}
+	for i := range m.shards {
+		m.shards[i].locks = make(map[string]*lockState)
+		m.heldShards[i].held = make(map[TxnID][]heldEntry)
+	}
+	return m
 }
 
 // Acquire obtains key in mode for txn, blocking if necessary. It returns
@@ -93,51 +158,66 @@ func New(opts Options) *Manager {
 // mode returns immediately; holding Shared and requesting Exclusive
 // performs an upgrade.
 func (m *Manager) Acquire(ctx context.Context, txn TxnID, key string, mode Mode) error {
-	m.mu.Lock()
-	ls := m.locks[key]
+	sh := &m.shards[shardOf(key)]
+	sh.mu.Lock()
+	ls := sh.locks[key]
 	if ls == nil {
-		ls = &lockState{holders: make(map[TxnID]Mode)}
-		m.locks[key] = ls
+		if ls = sh.free; ls != nil {
+			sh.free = nil
+		} else {
+			ls = &lockState{holders: make(map[TxnID]Mode)}
+		}
+		sh.locks[key] = ls
 	}
 
 	if cur, ok := ls.holders[txn]; ok {
 		if cur >= mode {
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			return nil // already strong enough
 		}
 		// Upgrade S -> X: immediate if sole holder.
 		if len(ls.holders) == 1 {
 			ls.holders[txn] = Exclusive
-			m.held[txn][key] = Exclusive
-			m.mu.Unlock()
+			m.recordHeld(txn, key, Exclusive)
+			sh.mu.Unlock()
 			return nil
 		}
 		w := &waiter{txn: txn, mode: Exclusive, upgrade: true, ready: make(chan struct{})}
 		// Upgraders queue ahead of ordinary waiters.
 		ls.queue = append([]*waiter{w}, ls.queue...)
-		return m.block(ctx, ls, w, key)
+		sh.mu.Unlock()
+		return m.block(ctx, sh, ls, w, key)
 	}
 
 	if m.grantableLocked(ls, txn, mode) && len(ls.queue) == 0 {
 		m.grantLocked(ls, txn, key, mode)
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	w := &waiter{txn: txn, mode: mode, ready: make(chan struct{})}
 	ls.queue = append(ls.queue, w)
-	return m.block(ctx, ls, w, key)
+	sh.mu.Unlock()
+	return m.block(ctx, sh, ls, w, key)
 }
 
-// block waits for w to be granted. Called with m.mu held; releases it.
-func (m *Manager) block(ctx context.Context, ls *lockState, w *waiter, key string) error {
+// block waits for w (already queued) to be granted. Called with no
+// locks held.
+func (m *Manager) block(ctx context.Context, sh *shard, ls *lockState, w *waiter, key string) error {
+	m.wmu.Lock()
 	m.waitingOn[w.txn] = key
-	if m.cycleFromLocked(w.txn) {
+	cycle := m.cycleFromWLocked(w.txn)
+	if cycle {
 		delete(m.waitingOn, w.txn)
-		m.removeWaiterLocked(ls, w, key)
-		m.mu.Unlock()
+	}
+	m.wmu.Unlock()
+	if cycle {
+		if m.cancelWaiter(sh, ls, w, key) {
+			// Granted between enqueue and the cycle check; keep the lock
+			// (strict 2PL will release it with the rest).
+			return nil
+		}
 		return ErrDeadlock
 	}
-	m.mu.Unlock()
 
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -146,25 +226,15 @@ func (m *Manager) block(ctx context.Context, ls *lockState, w *waiter, key strin
 	}
 	select {
 	case <-w.ready:
-		m.mu.Lock()
-		delete(m.waitingOn, w.txn)
-		m.mu.Unlock()
+		m.unregisterWait(w.txn)
 		return nil
 	case <-ctx.Done():
-		m.mu.Lock()
-		delete(m.waitingOn, w.txn)
-		select {
-		case <-w.ready:
+		m.unregisterWait(w.txn)
+		if m.cancelWaiter(sh, ls, w, key) {
 			// Granted in the race window; the caller gets the lock after
 			// all (strict 2PL will release it with the rest).
-			m.mu.Unlock()
 			return nil
-		default:
 		}
-		w.canceled = true
-		m.removeWaiterLocked(ls, w, key)
-		m.pumpLocked(ls, key)
-		m.mu.Unlock()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return ErrTimeout
 		}
@@ -172,8 +242,49 @@ func (m *Manager) block(ctx context.Context, ls *lockState, w *waiter, key strin
 	}
 }
 
+// unregisterWait removes txn from the waits-for graph.
+func (m *Manager) unregisterWait(txn TxnID) {
+	m.wmu.Lock()
+	delete(m.waitingOn, txn)
+	m.wmu.Unlock()
+}
+
+// cancelWaiter withdraws w from the queue unless it was granted in the
+// race window; it reports whether the grant won.
+func (m *Manager) cancelWaiter(sh *shard, ls *lockState, w *waiter, key string) (granted bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	select {
+	case <-w.ready:
+		return true
+	default:
+	}
+	w.canceled = true
+	m.removeWaiterLocked(ls, w)
+	m.pumpLocked(sh, ls, key)
+	return false
+}
+
+// recordHeld notes txn's hold of key in the cross-shard held set.
+// Callable while holding a shard mutex (held shards are leaves).
+func (m *Manager) recordHeld(txn TxnID, key string, mode Mode) {
+	hs := m.heldShardOf(txn)
+	hs.mu.Lock()
+	entries := hs.held[txn]
+	for i := range entries {
+		if entries[i].key == key {
+			entries[i].mode = mode
+			hs.mu.Unlock()
+			return
+		}
+	}
+	hs.held[txn] = append(entries, heldEntry{key: key, mode: mode})
+	hs.mu.Unlock()
+}
+
 // grantableLocked reports whether txn could hold key in mode alongside
 // the current holders (ignoring txn's own existing hold, for upgrades).
+// Caller holds the key's shard mutex.
 func (m *Manager) grantableLocked(ls *lockState, txn TxnID, mode Mode) bool {
 	for holder, hmode := range ls.holders {
 		if holder == txn {
@@ -186,19 +297,15 @@ func (m *Manager) grantableLocked(ls *lockState, txn TxnID, mode Mode) bool {
 	return true
 }
 
-// grantLocked records the grant.
+// grantLocked records the grant. Caller holds the key's shard mutex.
 func (m *Manager) grantLocked(ls *lockState, txn TxnID, key string, mode Mode) {
 	ls.holders[txn] = mode
-	hk := m.held[txn]
-	if hk == nil {
-		hk = make(map[string]Mode)
-		m.held[txn] = hk
-	}
-	hk[key] = mode
+	m.recordHeld(txn, key, mode)
 }
 
 // pumpLocked grants queued waiters in FIFO order while compatible.
-func (m *Manager) pumpLocked(ls *lockState, key string) {
+// Caller holds the shard mutex.
+func (m *Manager) pumpLocked(sh *shard, ls *lockState, key string) {
 	for len(ls.queue) > 0 {
 		w := ls.queue[0]
 		if w.canceled {
@@ -215,7 +322,7 @@ func (m *Manager) pumpLocked(ls *lockState, key string) {
 }
 
 // removeWaiterLocked deletes w from the queue if still present.
-func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter, key string) {
+func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter) {
 	for i, q := range ls.queue {
 		if q == w {
 			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
@@ -226,22 +333,31 @@ func (m *Manager) removeWaiterLocked(ls *lockState, w *waiter, key string) {
 
 // conflictersLocked returns the set of transactions that currently
 // prevent txn from acquiring key in mode: incompatible holders plus
-// incompatible waiters queued ahead of txn.
-func (m *Manager) conflictersLocked(txn TxnID, key string) map[TxnID]bool {
-	ls := m.locks[key]
+// incompatible waiters queued ahead of txn. Caller holds the key's
+// shard mutex.
+func (m *Manager) conflictersLocked(sh *shard, txn TxnID, key string) map[TxnID]bool {
+	ls := sh.locks[key]
 	if ls == nil {
 		return nil
 	}
-	var mode Mode = Exclusive
-	// Find txn's queued request to know its mode and position.
+	// Find txn's queued request to know its mode and position. No live
+	// queue entry means txn is not actually waiting here — its waitingOn
+	// record is stale (granted or canceled, goroutine not yet woken to
+	// unregister) and following it would manufacture phantom edges to
+	// everything queued behind its old slot.
+	var req *waiter
 	pos := len(ls.queue)
 	for i, w := range ls.queue {
 		if w.txn == txn {
-			mode = w.mode
+			req = w
 			pos = i
 			break
 		}
 	}
+	if req == nil || req.canceled {
+		return nil
+	}
+	mode := req.mode
 	out := make(map[TxnID]bool)
 	for holder, hmode := range ls.holders {
 		if holder == txn {
@@ -263,9 +379,11 @@ func (m *Manager) conflictersLocked(txn TxnID, key string) map[TxnID]bool {
 	return out
 }
 
-// cycleFromLocked reports whether the waits-for graph reachable from
-// start leads back to start.
-func (m *Manager) cycleFromLocked(start TxnID) bool {
+// cycleFromWLocked reports whether the waits-for graph reachable from
+// start leads back to start. Caller holds wmu; each visited key's shard
+// is locked transiently (one at a time, never two — shards are below
+// wmu in the lock order and a DFS may revisit a shard).
+func (m *Manager) cycleFromWLocked(start TxnID) bool {
 	visited := map[TxnID]bool{}
 	var dfs func(t TxnID) bool
 	dfs = func(t TxnID) bool {
@@ -273,7 +391,11 @@ func (m *Manager) cycleFromLocked(start TxnID) bool {
 		if !blocked {
 			return false
 		}
-		for c := range m.conflictersLocked(t, key) {
+		sh := &m.shards[shardOf(key)]
+		sh.mu.Lock()
+		conf := m.conflictersLocked(sh, t, key)
+		sh.mu.Unlock()
+		for c := range conf {
 			if c == start {
 				return true
 			}
@@ -291,13 +413,29 @@ func (m *Manager) cycleFromLocked(start TxnID) bool {
 
 // Release drops txn's lock on key (if held) and wakes compatible waiters.
 func (m *Manager) Release(txn TxnID, key string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.releaseLocked(txn, key)
+	sh := &m.shards[shardOf(key)]
+	sh.mu.Lock()
+	m.releaseLocked(sh, txn, key)
+	sh.mu.Unlock()
+	hs := m.heldShardOf(txn)
+	hs.mu.Lock()
+	entries := hs.held[txn]
+	for i := range entries {
+		if entries[i].key == key {
+			hs.held[txn] = append(entries[:i], entries[i+1:]...)
+			break
+		}
+	}
+	if len(hs.held[txn]) == 0 {
+		delete(hs.held, txn)
+	}
+	hs.mu.Unlock()
 }
 
-func (m *Manager) releaseLocked(txn TxnID, key string) {
-	ls := m.locks[key]
+// releaseLocked drops the shard-local hold and pumps the queue. Caller
+// holds the shard mutex; the held set is the caller's to update.
+func (m *Manager) releaseLocked(sh *shard, txn TxnID, key string) {
+	ls := sh.locks[key]
 	if ls == nil {
 		return
 	}
@@ -305,35 +443,46 @@ func (m *Manager) releaseLocked(txn TxnID, key string) {
 		return
 	}
 	delete(ls.holders, txn)
-	delete(m.held[txn], key)
-	m.pumpLocked(ls, key)
+	m.pumpLocked(sh, ls, key)
 	if len(ls.holders) == 0 && len(ls.queue) == 0 {
-		delete(m.locks, key)
+		delete(sh.locks, key)
+		sh.free = ls
 	}
 }
 
 // ReleaseAll drops every lock txn holds — the strict-2PL release at
 // commit or abort.
 func (m *Manager) ReleaseAll(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for key := range m.held[txn] {
-		m.releaseLocked(txn, key)
+	hs := m.heldShardOf(txn)
+	hs.mu.Lock()
+	entries := hs.held[txn]
+	delete(hs.held, txn)
+	hs.mu.Unlock()
+	for _, e := range entries {
+		sh := &m.shards[shardOf(e.key)]
+		sh.mu.Lock()
+		m.releaseLocked(sh, txn, e.key)
+		sh.mu.Unlock()
 	}
-	delete(m.held, txn)
 }
 
 // Holds reports the mode txn holds on key, if any.
 func (m *Manager) Holds(txn TxnID, key string) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	mode, ok := m.held[txn][key]
-	return mode, ok
+	hs := m.heldShardOf(txn)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	for _, e := range hs.held[txn] {
+		if e.key == key {
+			return e.mode, true
+		}
+	}
+	return 0, false
 }
 
 // HeldKeys returns how many keys txn currently holds.
 func (m *Manager) HeldKeys(txn TxnID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.held[txn])
+	hs := m.heldShardOf(txn)
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return len(hs.held[txn])
 }

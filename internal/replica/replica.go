@@ -15,6 +15,7 @@ package replica
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -223,6 +224,40 @@ func (r *Replicator) Lag(peer wire.SiteID) int {
 	return len(r.PendingFor(peer))
 }
 
+// PendingSyncFor returns the unacknowledged backlog for peer as one
+// coalesced DeltaSync, or nil when the peer is caught up. Deltas to the
+// same key within the window are summed into a single entry (they
+// commute), so a hot key costs one wire entry per flush instead of one
+// per update. The message's FirstSeq marks the first covered sequence
+// and each entry's Seq the last sequence it absorbed; the receiver
+// applies the window all-or-nothing (see wire.DeltaSync).
+func (r *Replicator) PendingSyncFor(peer wire.SiteID) *wire.DeltaSync {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	from := r.acked[peer] + 1
+	if from < r.firstSeq {
+		// The log was compacted past entries the peer never acked; this
+		// cannot happen through Compact, which respects all acks.
+		from = r.firstSeq
+	}
+	idx := int(from - r.firstSeq)
+	if idx >= len(r.log) {
+		return nil
+	}
+	msg := &wire.DeltaSync{Origin: r.origin, FirstSeq: from}
+	byKey := make(map[string]int)
+	for _, d := range r.log[idx:] {
+		if i, ok := byKey[d.Key]; ok {
+			msg.Deltas[i].Amount += d.Amount
+			msg.Deltas[i].Seq = d.Seq
+			continue
+		}
+		byKey[d.Key] = len(msg.Deltas)
+		msg.Deltas = append(msg.Deltas, d)
+	}
+	return msg
+}
+
 // AppliedFrom returns the highest sequence applied from origin.
 func (r *Replicator) AppliedFrom(origin wire.SiteID) uint64 {
 	r.mu.Lock()
@@ -230,24 +265,51 @@ func (r *Replicator) AppliedFrom(origin wire.SiteID) uint64 {
 	return r.applied[origin]
 }
 
-// HandleSync applies the contiguous new prefix of a peer's delta batch
-// and returns the cumulative acknowledgement. Already-applied entries
-// are skipped (idempotence); a gap stops application (the sender will
-// retransmit from our ack).
+// HandleSync applies a peer's delta batch and returns the cumulative
+// acknowledgement.
+//
+// A verbatim batch (FirstSeq zero) applies its contiguous new prefix:
+// already-applied entries are skipped (idempotence) and a gap stops
+// application (the sender will retransmit from our ack). A coalesced
+// batch (FirstSeq nonzero) no longer carries individual sequences, so
+// it applies all-or-nothing: only when FirstSeq extends our watermark
+// exactly. Either way the returned ack tells the sender precisely where
+// to resume, so a lost ack or misaligned window costs one realignment
+// round, never a lost or doubled delta.
 func (r *Replicator) HandleSync(msg *wire.DeltaSync) (*wire.DeltaAck, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	high := r.applied[msg.Origin]
 	var ops []storage.Op
-	for _, d := range msg.Deltas {
-		if d.Seq <= high {
-			continue // duplicate
+	if msg.FirstSeq != 0 {
+		to := high
+		for _, d := range msg.Deltas {
+			if d.Seq > to {
+				to = d.Seq
+			}
 		}
-		if d.Seq != high+1 {
-			break // gap: wait for retransmission
+		if to > high && msg.FirstSeq == high+1 {
+			for _, d := range msg.Deltas {
+				ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
+			}
+			high = to
 		}
-		ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
-		high = d.Seq
+		// to <= high: pure duplicate (skip, ack our watermark).
+		// FirstSeq > high+1: gap — wait for retransmission from the ack.
+		// FirstSeq <= high < to: partially replayed window; coalesced
+		// entries cannot be split, so reject it whole and let the ack
+		// realign the sender's next flush.
+	} else {
+		for _, d := range msg.Deltas {
+			if d.Seq <= high {
+				continue // duplicate
+			}
+			if d.Seq != high+1 {
+				break // gap: wait for retransmission
+			}
+			ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
+			high = d.Seq
+		}
 	}
 	if len(ops) > 0 {
 		if r.durable {
@@ -276,34 +338,49 @@ func (r *Replicator) HandleAck(peer wire.SiteID, upTo uint64) {
 	}
 }
 
-// Flush pushes pending deltas to every peer synchronously and processes
-// their acks. Unreachable peers are skipped (their backlog is kept for
-// the next flush); the first unexpected error is returned after all
-// peers were attempted.
+// Flush pushes pending deltas to every peer concurrently and processes
+// their acks; it returns once every peer's exchange finished. Each peer
+// gets one coalesced DeltaSync, so flush latency is the slowest peer's
+// round trip, not the sum. Unreachable peers are skipped (their backlog
+// is kept for the next flush); every peer is attempted regardless of
+// other peers' failures, and all unexpected errors are returned joined.
 func (r *Replicator) Flush(ctx context.Context, node transport.Node, peers []wire.SiteID) error {
-	var firstErr error
-	for _, peer := range peers {
-		pending := r.PendingFor(peer)
-		if len(pending) == 0 {
-			continue
-		}
-		reply, err := node.Call(ctx, peer, &wire.DeltaSync{Origin: r.origin, Deltas: pending})
-		if err != nil {
-			// Partition or crash: keep the backlog, try again later. This
-			// is the fault tolerance claim: Delay Updates committed during
-			// the partition flow out once it heals.
-			continue
-		}
-		ack, ok := reply.(*wire.DeltaAck)
-		if !ok {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("replica: unexpected reply %T from site %d", reply, peer)
-			}
-			continue
-		}
-		r.HandleAck(peer, ack.UpTo)
+	type job struct {
+		peer wire.SiteID
+		msg  *wire.DeltaSync
 	}
-	return firstErr
+	var jobs []job
+	for _, peer := range peers {
+		if msg := r.PendingSyncFor(peer); msg != nil {
+			jobs = append(jobs, job{peer, msg})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			reply, err := node.Call(ctx, j.peer, j.msg)
+			if err != nil {
+				// Partition or crash: keep the backlog, try again later. This
+				// is the fault tolerance claim: Delay Updates committed during
+				// the partition flow out once it heals.
+				return
+			}
+			ack, ok := reply.(*wire.DeltaAck)
+			if !ok {
+				errs[i] = fmt.Errorf("replica: unexpected reply %T from site %d", reply, j.peer)
+				return
+			}
+			r.HandleAck(j.peer, ack.UpTo)
+		}(i, j)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
 }
 
 // Pull fetches pending deltas *from* every peer (the push direction is

@@ -226,7 +226,10 @@ func (s *Site) handle(ctx context.Context, from wire.SiteID, msg wire.Message) w
 		s.repl.HandleAck(from, m.UpTo)
 		return nil
 	case *wire.SyncPull:
-		return &wire.DeltaSync{Origin: s.cfg.ID, Deltas: s.repl.PendingFor(from)}
+		if sync := s.repl.PendingSyncFor(from); sync != nil {
+			return sync
+		}
+		return &wire.DeltaSync{Origin: s.cfg.ID}
 	case *wire.Read:
 		n, err := s.eng.Amount(m.Key)
 		return &wire.ReadReply{OK: err == nil, Value: n}

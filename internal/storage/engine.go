@@ -18,6 +18,22 @@ const (
 	snapMagic    = "AVDBSNP1"
 )
 
+// numStripes is the number of lock stripes the key space is hashed
+// into. A power of two so the stripe index is a mask, sized so that on
+// any realistic core count independent keys almost never share a
+// stripe.
+const numStripes = 32
+
+// stripeOf hashes a key (FNV-1a) to its stripe index.
+func stripeOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (numStripes - 1))
+}
+
 // Options configure an Engine.
 type Options struct {
 	// Dir is the data directory. Empty means a purely in-memory engine
@@ -30,20 +46,35 @@ type Options struct {
 	SegmentMaxBytes int64
 }
 
-// Engine is a site's local database. It is safe for concurrent use.
+// stripe is one lock-striped partition of the key space: keys hash to a
+// stripe, and point operations only contend with other keys of the same
+// stripe instead of serializing the whole engine.
+type stripe struct {
+	mu        sync.RWMutex
+	mem       *btree.Tree
+	metaCount int // rows under MetaPrefix, excluded from Len and Scan
+}
+
+// Engine is a site's local database. It is safe for concurrent use:
+// the record table is partitioned into numStripes hash stripes, each
+// with its own RWMutex, so Delay Updates to independent keys proceed in
+// parallel. Multi-key batches lock their stripes in ascending index
+// order (deadlock freedom); whole-table operations (Scan, Checkpoint,
+// Close) lock every stripe.
 type Engine struct {
 	opts Options
 
-	mu        sync.RWMutex
-	mem       *btree.Tree
-	metaCount int      // rows under MetaPrefix, excluded from Len and Scan
-	log       *wal.Log // nil when in-memory
-	closed    bool
+	stripes [numStripes]stripe
+	log     *wal.Log // nil when in-memory; internally synchronized
+	closed  bool     // guarded by holding all stripe locks to set, any one to read
 }
 
 // Open opens (or creates, or recovers) an engine.
 func Open(opts Options) (*Engine, error) {
-	e := &Engine{opts: opts, mem: &btree.Tree{}}
+	e := &Engine{opts: opts}
+	for i := range e.stripes {
+		e.stripes[i].mem = &btree.Tree{}
+	}
 	if opts.Dir == "" {
 		return e, nil
 	}
@@ -70,7 +101,7 @@ func Open(opts Options) (*Engine, error) {
 		// Replay applies without validation: the batch was validated when
 		// first written, and partially-known state (post-snapshot deltas
 		// to rows created before the snapshot) must still apply.
-		e.applyLocked(ops)
+		e.applyOps(ops)
 		return nil
 	})
 	if err != nil {
@@ -80,14 +111,80 @@ func Open(opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// storageKey returns the key an op actually occupies in the table
+// (meta ops live under MetaPrefix).
+func storageKey(op *Op) string {
+	if op.Kind == OpMetaPut || op.Kind == OpMetaDelete {
+		return MetaPrefix + op.Key
+	}
+	return op.Key
+}
+
+// lockStripes write-locks the given stripe set in ascending order.
+// stripesFor output is sorted and deduplicated, so concurrent batches
+// always acquire in the same global order.
+func (e *Engine) lockStripes(idx []int) {
+	for _, i := range idx {
+		e.stripes[i].mu.Lock()
+	}
+}
+
+func (e *Engine) unlockStripes(idx []int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		e.stripes[idx[i]].mu.Unlock()
+	}
+}
+
+// stripesFor returns the sorted, deduplicated stripe indices a batch
+// touches.
+func stripesFor(ops []Op) []int {
+	var mask uint32
+	for i := range ops {
+		mask |= 1 << uint(stripeOf(storageKey(&ops[i])))
+	}
+	idx := make([]int, 0, numStripes)
+	for i := 0; i < numStripes; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// allStripes is the full ascending stripe index set.
+var allStripes = func() []int {
+	idx := make([]int, numStripes)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}()
+
+// lockAll / unlockAll bracket whole-table operations.
+func (e *Engine) lockAll()   { e.lockStripes(allStripes) }
+func (e *Engine) unlockAll() { e.unlockStripes(allStripes) }
+
+func (e *Engine) rlockAll() {
+	for i := range e.stripes {
+		e.stripes[i].mu.RLock()
+	}
+}
+
+func (e *Engine) runlockAll() {
+	for i := numStripes - 1; i >= 0; i-- {
+		e.stripes[i].mu.RUnlock()
+	}
+}
+
 // Get returns the record stored under key.
 func (e *Engine) Get(key string) (Record, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := &e.stripes[stripeOf(key)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e.closed {
 		return Record{}, ErrClosed
 	}
-	v, ok := e.mem.Get(key)
+	v, ok := s.mem.Get(key)
 	if !ok {
 		return Record{}, ErrNotFound
 	}
@@ -109,20 +206,52 @@ func (e *Engine) Amount(key string) (int64, error) {
 
 // Len returns the number of user rows (metadata rows are excluded).
 func (e *Engine) Len() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.mem.Len() - e.metaCount
+	e.rlockAll()
+	defer e.runlockAll()
+	n := 0
+	for i := range e.stripes {
+		n += e.stripes[i].mem.Len() - e.stripes[i].metaCount
+	}
+	return n
+}
+
+// mergeScan iterates every stripe's tree in globally ascending key
+// order while the caller holds all stripe locks. An empty `from` starts
+// at the beginning.
+func (e *Engine) mergeScan(from string, fn func(k string, v []byte) bool) {
+	var iters [numStripes]btree.Iterator
+	for i := range e.stripes {
+		iters[i] = e.stripes[i].mem.IterFrom(from)
+	}
+	for {
+		best := -1
+		for i := range iters {
+			if !iters[i].Valid() {
+				continue
+			}
+			if best < 0 || iters[i].Key() < iters[best].Key() {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		if !fn(iters[best].Key(), iters[best].Value()) {
+			return
+		}
+		iters[best].Next()
+	}
 }
 
 // Scan calls fn for every record in key order until fn returns false.
 func (e *Engine) Scan(fn func(rec Record) bool) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
 	if e.closed {
 		return ErrClosed
 	}
 	var decodeErr error
-	e.mem.Ascend(func(k string, v []byte) bool {
+	e.mergeScan("", func(k string, v []byte) bool {
 		if len(k) >= len(MetaPrefix) && k[:len(MetaPrefix)] == MetaPrefix {
 			return true // metadata rows are not part of the user schema
 		}
@@ -140,12 +269,19 @@ func (e *Engine) Scan(fn func(rec Record) bool) error {
 // every op is applied (and logged as one WAL record) or none is. It is
 // the single write entry point — Put/Delete/ApplyDelta are conveniences
 // over it.
+//
+// Only the stripes the batch touches are locked, so batches over
+// disjoint key sets run concurrently. The WAL append happens while the
+// stripe locks are held: any two conflicting batches share a stripe and
+// therefore serialize, so replay order always matches apply order for
+// ops that do not commute.
 func (e *Engine) Apply(ops ...Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	idx := stripesFor(ops)
+	e.lockStripes(idx)
+	defer e.unlockStripes(idx)
 	if e.closed {
 		return ErrClosed
 	}
@@ -176,7 +312,7 @@ func (e *Engine) Apply(ops ...Op) error {
 			if created[op.Key] {
 				continue
 			}
-			if _, ok := e.mem.Get(op.Key); !ok {
+			if _, ok := e.stripes[stripeOf(op.Key)].mem.Get(op.Key); !ok {
 				return fmt.Errorf("storage: delta to %q: %w", op.Key, ErrNotFound)
 			}
 		case OpMetaPut, OpMetaDelete:
@@ -192,23 +328,25 @@ func (e *Engine) Apply(ops ...Op) error {
 			return err
 		}
 	}
-	e.applyLocked(ops)
+	e.applyOps(ops)
 	return nil
 }
 
-// applyLocked applies pre-validated ops. Caller holds e.mu.
-func (e *Engine) applyLocked(ops []Op) {
+// applyOps applies pre-validated ops. The caller holds the write locks
+// of every involved stripe (or has exclusive access during recovery).
+func (e *Engine) applyOps(ops []Op) {
 	for i := range ops {
 		op := &ops[i]
+		s := &e.stripes[stripeOf(storageKey(op))]
 		switch op.Kind {
 		case OpPut:
 			rec := op.Rec
 			rec.Key = op.Key
-			e.mem.Put(op.Key, encodeValue(&rec))
+			s.mem.Put(op.Key, encodeValue(&rec))
 		case OpDelete:
-			e.mem.Delete(op.Key)
+			s.mem.Delete(op.Key)
 		case OpDelta:
-			v, ok := e.mem.Get(op.Key)
+			v, ok := s.mem.Get(op.Key)
 			if !ok {
 				// Replay may delta rows that a later snapshot-era op
 				// created; in live operation validation prevents this.
@@ -219,14 +357,14 @@ func (e *Engine) applyLocked(ops []Op) {
 				continue
 			}
 			rec.Amount += op.Delta
-			e.mem.Put(op.Key, encodeValue(&rec))
+			s.mem.Put(op.Key, encodeValue(&rec))
 		case OpMetaPut:
-			if !e.mem.Put(MetaPrefix+op.Key, append([]byte(nil), op.Value...)) {
-				e.metaCount++
+			if !s.mem.Put(MetaPrefix+op.Key, append([]byte(nil), op.Value...)) {
+				s.metaCount++
 			}
 		case OpMetaDelete:
-			if e.mem.Delete(MetaPrefix + op.Key) {
-				e.metaCount--
+			if s.mem.Delete(MetaPrefix + op.Key) {
+				s.metaCount--
 			}
 		}
 	}
@@ -234,12 +372,14 @@ func (e *Engine) applyLocked(ops []Op) {
 
 // GetMeta returns the raw metadata value stored under key.
 func (e *Engine) GetMeta(key string) ([]byte, bool, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	full := MetaPrefix + key
+	s := &e.stripes[stripeOf(full)]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e.closed {
 		return nil, false, ErrClosed
 	}
-	v, ok := e.mem.Get(MetaPrefix + key)
+	v, ok := s.mem.Get(full)
 	if !ok {
 		return nil, false, nil
 	}
@@ -249,13 +389,13 @@ func (e *Engine) GetMeta(key string) ([]byte, bool, error) {
 // ScanMeta calls fn for every metadata entry whose key starts with
 // prefix, in key order, until fn returns false.
 func (e *Engine) ScanMeta(prefix string, fn func(key string, value []byte) bool) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.rlockAll()
+	defer e.runlockAll()
 	if e.closed {
 		return ErrClosed
 	}
 	from := MetaPrefix + prefix
-	e.mem.AscendRange(from, "", func(k string, v []byte) bool {
+	e.mergeScan(from, func(k string, v []byte) bool {
 		if len(k) < len(from) || k[:len(from)] != from {
 			return false // left the prefix range (meta sorts contiguously)
 		}
@@ -280,8 +420,9 @@ func (e *Engine) ApplyDelta(key string, delta int64) (int64, error) {
 
 // Sync forces the WAL to stable storage.
 func (e *Engine) Sync() error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	s := &e.stripes[0]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
@@ -297,8 +438,8 @@ func (e *Engine) Sync() error {
 // never applied twice. The snapshot is written to a temp file and
 // renamed, so a crash during Checkpoint leaves a consistent pair.
 func (e *Engine) Checkpoint() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	if e.closed {
 		return ErrClosed
 	}
@@ -312,12 +453,17 @@ func (e *Engine) Checkpoint() error {
 	return e.log.TruncateBefore(boundary + 1)
 }
 
-// writeSnapshotLocked dumps the table to disk atomically (temp + rename).
+// writeSnapshotLocked dumps the table to disk atomically (temp +
+// rename). The caller holds every stripe lock.
 func (e *Engine) writeSnapshotLocked(boundaryLSN uint64) error {
+	total := 0
+	for i := range e.stripes {
+		total += e.stripes[i].mem.Len()
+	}
 	var body []byte
 	body = binary.LittleEndian.AppendUint64(body, boundaryLSN)
-	body = binary.AppendUvarint(body, uint64(e.mem.Len()))
-	e.mem.Ascend(func(k string, v []byte) bool {
+	body = binary.AppendUvarint(body, uint64(total))
+	e.mergeScan("", func(k string, v []byte) bool {
 		body = binary.AppendUvarint(body, uint64(len(k)))
 		body = append(body, k...)
 		body = binary.AppendUvarint(body, uint64(len(v)))
@@ -336,7 +482,7 @@ func (e *Engine) writeSnapshotLocked(boundaryLSN uint64) error {
 }
 
 // loadSnapshot loads the snapshot if present, returning its boundary LSN
-// (0 when there is no snapshot).
+// (0 when there is no snapshot). Runs before any concurrency exists.
 func (e *Engine) loadSnapshot() (uint64, error) {
 	data, err := os.ReadFile(filepath.Join(e.opts.Dir, snapshotName))
 	if os.IsNotExist(err) {
@@ -376,9 +522,10 @@ func (e *Engine) loadSnapshot() (uint64, error) {
 		}
 		val := append([]byte(nil), body[n:n+int(vLen)]...)
 		body = body[n+int(vLen):]
-		if !e.mem.Put(key, val) &&
+		s := &e.stripes[stripeOf(key)]
+		if !s.mem.Put(key, val) &&
 			len(key) >= len(MetaPrefix) && key[:len(MetaPrefix)] == MetaPrefix {
-			e.metaCount++
+			s.metaCount++
 		}
 	}
 	return boundary, nil
@@ -386,8 +533,8 @@ func (e *Engine) loadSnapshot() (uint64, error) {
 
 // Close syncs and closes the engine.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.lockAll()
+	defer e.unlockAll()
 	if e.closed {
 		return nil
 	}

@@ -44,14 +44,14 @@ func (m *Manager) Locks() *lockmgr.Manager { return m.locks }
 // Begin starts a transaction.
 func (m *Manager) Begin() *Txn {
 	return &Txn{
-		id:      lockmgr.TxnID(m.next.Add(1)),
-		m:       m,
-		pending: make(map[string]*pendingKey),
+		id: lockmgr.TxnID(m.next.Add(1)),
+		m:  m,
 	}
 }
 
 // pendingKey accumulates a transaction's buffered effect on one key.
 type pendingKey struct {
+	key     string
 	hasPut  bool
 	rec     storage.Record
 	deleted bool
@@ -61,11 +61,16 @@ type pendingKey struct {
 // Txn is a single transaction. A Txn is not safe for concurrent use by
 // multiple goroutines (like database handles everywhere); concurrency
 // comes from running many transactions.
+//
+// The pending buffer is a small slice scanned linearly: transactions
+// touch a handful of keys, and the slice keeps Begin allocation-free
+// where a map would cost an allocation per transaction on the
+// zero-communication fast path.
 type Txn struct {
 	id      lockmgr.TxnID
 	m       *Manager
 	writes  []storage.Op
-	pending map[string]*pendingKey
+	pending []pendingKey
 	done    bool
 }
 
@@ -84,9 +89,20 @@ func (t *Txn) Get(ctx context.Context, key string) (storage.Record, error) {
 	return t.view(key)
 }
 
+// find returns the pending entry for key, nil if none. The pointer is
+// valid only until the next append to t.pending.
+func (t *Txn) find(key string) *pendingKey {
+	for i := range t.pending {
+		if t.pending[i].key == key {
+			return &t.pending[i]
+		}
+	}
+	return nil
+}
+
 // view merges stored state with the pending buffer for key.
 func (t *Txn) view(key string) (storage.Record, error) {
-	p := t.pending[key]
+	p := t.find(key)
 	if p != nil && p.deleted {
 		return storage.Record{}, storage.ErrNotFound
 	}
@@ -106,14 +122,14 @@ func (t *Txn) view(key string) (storage.Record, error) {
 	return rec, nil
 }
 
-// ensure returns (creating) the pending entry for key.
+// ensure returns (creating) the pending entry for key. The pointer is
+// valid only until the next append to t.pending.
 func (t *Txn) ensure(key string) *pendingKey {
-	p := t.pending[key]
-	if p == nil {
-		p = &pendingKey{}
-		t.pending[key] = p
+	if p := t.find(key); p != nil {
+		return p
 	}
-	return p
+	t.pending = append(t.pending, pendingKey{key: key})
+	return &t.pending[len(t.pending)-1]
 }
 
 // Put buffers an insert/replace of rec under an exclusive lock.

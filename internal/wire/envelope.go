@@ -49,7 +49,13 @@ func needsV2(e *Envelope) bool {
 func EncodeEnvelope(e *Envelope) []byte {
 	// Typical envelopes are small; 64 bytes covers all fixed fields plus a
 	// short key without reallocation.
-	b := make([]byte, 0, 64)
+	return AppendEnvelope(make([]byte, 0, 64), e)
+}
+
+// AppendEnvelope serializes e onto b and returns the extended slice.
+// Transports with pooled or per-connection write buffers use it to
+// encode in place without a fresh allocation per message.
+func AppendEnvelope(b []byte, e *Envelope) []byte {
 	if needsV2(e) {
 		b = append(b, verMarker)
 		b = appendUvarint(b, codecVersion)

@@ -170,10 +170,21 @@ type Delta struct {
 }
 
 // DeltaSync carries a batch of deltas from Origin's log for lazy replica
-// convergence. Receivers apply entries they have not seen (dedup by Seq).
+// convergence.
+//
+// FirstSeq selects how receivers apply the batch. Zero (the original
+// format's implicit value) means the entries are verbatim log records:
+// the receiver applies the contiguous new prefix, deduplicating by Seq.
+// Nonzero marks a coalesced window: the sender merged same-key deltas
+// covering origin sequences [FirstSeq, max entry Seq], so individual
+// sequences are no longer recoverable and the receiver must apply the
+// whole batch if and only if FirstSeq is exactly one past its applied
+// watermark, acknowledging its current watermark otherwise so the
+// sender realigns on the next flush.
 type DeltaSync struct {
-	Origin SiteID
-	Deltas []Delta
+	Origin   SiteID
+	FirstSeq uint64
+	Deltas   []Delta
 }
 
 // Kind implements Message.
@@ -181,6 +192,7 @@ func (*DeltaSync) Kind() Kind { return KindDeltaSync }
 
 func (m *DeltaSync) encode(b []byte) []byte {
 	b = appendUvarint(b, uint64(m.Origin))
+	b = appendUvarint(b, m.FirstSeq)
 	b = appendUvarint(b, uint64(len(m.Deltas)))
 	for _, d := range m.Deltas {
 		b = appendUvarint(b, d.Seq)
@@ -196,6 +208,9 @@ func (m *DeltaSync) decode(r *reader) error {
 		return err
 	}
 	m.Origin = SiteID(origin)
+	if m.FirstSeq, err = r.uvarint(); err != nil {
+		return err
+	}
 	n, err := r.uvarint()
 	if err != nil {
 		return err

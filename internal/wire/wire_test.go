@@ -241,6 +241,7 @@ func TestDecodeRejectsHugeCountPrefix(t *testing.T) {
 	// Hand-build a DeltaSync claiming 2^40 entries with no data behind it.
 	b := []byte{0, 0, 0, 0, byte(KindDeltaSync)}
 	b = appendUvarint(b, 0)     // origin
+	b = appendUvarint(b, 0)     // first-seq
 	b = appendUvarint(b, 1<<40) // claimed count
 	if _, err := DecodeEnvelope(b); err == nil {
 		t.Fatal("absurd count prefix accepted")

@@ -1,0 +1,91 @@
+package avdb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"avdb/internal/cluster"
+	"avdb/internal/core"
+)
+
+// TestConservationUnderConcurrency hammers a memnet cluster with
+// concurrent Delay Updates from every site — including AV transfers
+// when a site's local allowance runs out — and then checks the escrow
+// accounting: after flushing, every site converges to the same value,
+// that value matches initial stock minus exactly the decrements that
+// reported success, and the cluster-wide AV invariants hold (sum of AV
+// equals the global value, nothing held, nothing minted).
+func TestConservationUnderConcurrency(t *testing.T) {
+	const (
+		sites   = 4
+		items   = 8
+		initial = 1000
+		workers = 16
+	)
+	iters := 250
+	if testing.Short() {
+		iters = 50
+	}
+
+	c, err := cluster.New(cluster.Config{Sites: sites, Items: items, InitialAmount: initial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var succeeded [items]atomic.Int64
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				key := (w*31 + i*7) % items
+				s := c.Sites[(w+i)%sites]
+				_, err := s.Update(ctx, c.RegularKeys[key], -1)
+				switch {
+				case err == nil:
+					succeeded[key].Add(1)
+				case errors.Is(err, core.ErrInsufficientAV):
+					// A legal rejection: the global slack for this key was
+					// (transiently) exhausted. Conservation still has to hold.
+					rejected.Add(1)
+				default:
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Drain replication: first pass ships the deltas, second pass is a
+	// no-op that proves the logs are empty.
+	for i := 0; i < 2; i++ {
+		if err := c.FlushAll(ctx); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+	}
+
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, key := range c.RegularKeys {
+		want := int64(initial) - succeeded[k].Load()
+		got, err := c.ConvergedValue(key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if got != want {
+			t.Errorf("%s: converged value %d, want %d (%d successful decrements)",
+				key, got, want, succeeded[k].Load())
+		}
+	}
+	t.Logf("%d decrements committed, %d rejected for lack of AV",
+		workers*iters-int(rejected.Load()), rejected.Load())
+}
