@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"avdb/internal/chaos"
 	"avdb/internal/cluster"
 	"avdb/internal/transport"
 	"avdb/internal/transport/tcpnet"
@@ -33,6 +35,13 @@ type perfResult struct {
 	// periodic replication flushes.
 	MemnetThroughputNsOp float64 `json:"cluster_throughput_memnet_ns_op"`
 
+	// The same cluster workload in degraded mode: a seeded chaos
+	// injector drops 5% of all messages, with RPC retransmission (and
+	// receiver dedup) riding the updates through the loss. The ratio to
+	// the healthy number is the price of the failure machinery under
+	// fault, not its healthy-path overhead (which is zero by config).
+	DegradedThroughputNsOp float64 `json:"cluster_throughput_degraded_5pct_ns_op"`
+
 	// One-way tcpnet sends over loopback (frame coalescing path).
 	// Allocation counts include the receiving node's decode side.
 	TCPSendNsOp     float64 `json:"tcp_send_ns_op"`
@@ -57,6 +66,7 @@ func runPerf(path string) error {
 	}
 
 	res.MemnetThroughputNsOp = nsPerOp(testing.Benchmark(benchMemnetThroughput))
+	res.DegradedThroughputNsOp = nsPerOp(testing.Benchmark(benchDegradedThroughput))
 
 	tcp := testing.Benchmark(benchTCPSend)
 	res.TCPSendNsOp = nsPerOp(tcp)
@@ -144,6 +154,44 @@ func benchMemnetThroughput(b *testing.B) {
 					b.Error(err)
 					return
 				}
+			}
+		}
+	})
+}
+
+// benchDegradedThroughput is benchMemnetThroughput on a lossy network:
+// a seeded injector drops 5% of every message and Call retransmits
+// until the reply (or its dedup replay) gets through. Flush failures
+// are tolerated — the backlog is retained and retried, which is the
+// degraded-mode contract.
+func benchDegradedThroughput(b *testing.B) {
+	inj := chaos.NewInjector(1)
+	inj.SetDefault(chaos.LinkFaults{Drop: 0.05})
+	c, err := cluster.New(cluster.Config{
+		Sites: 3, Items: 64, InitialAmount: 1 << 40,
+		Interceptor:        inj,
+		RetransmitInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	keys := c.RegularKeys
+	ctx := context.Background()
+	var gctr atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := int(gctr.Add(1))
+		s := c.Sites[g%len(c.Sites)]
+		i := g * 7
+		for pb.Next() {
+			if _, err := s.Update(ctx, keys[i%len(keys)], -1); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+			if i%512 == 0 {
+				_ = s.Flush(ctx) // lossy flush keeps its backlog; retried next round
 			}
 		}
 	})

@@ -6,6 +6,7 @@
 //	avctl -addr localhost:7201 av product-0000
 //	avctl -addr localhost:7201 sync
 //	avctl -admin localhost:7300 stats
+//	avctl -admin localhost:7300 health
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 	"time"
 )
 
-const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats> [args...]"
+const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats|health> [args...]"
 
 func main() {
 	addr := flag.String("addr", "localhost:7200", "avnode client address")
@@ -35,6 +36,9 @@ func main() {
 	cmd := strings.ToUpper(flag.Arg(0))
 	if cmd == "STATS" {
 		os.Exit(stats(*admin, *timeout))
+	}
+	if cmd == "HEALTH" {
+		os.Exit(health(*admin, *timeout))
 	}
 	line := strings.Join(append([]string{cmd}, flag.Args()[1:]...), " ")
 
@@ -73,6 +77,21 @@ func stats(admin string, timeout time.Duration) int {
 	fmt.Println("\n# recent traces")
 	if err := fetch(client, "http://"+admin+"/trace/recent?format=text&n=50", os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "avctl: traces:", err)
+		return 1
+	}
+	return 0
+}
+
+// health probes the node's /healthz; exit 0 iff the node answers ok.
+func health(admin string, timeout time.Duration) int {
+	client := &http.Client{Timeout: timeout}
+	var buf strings.Builder
+	if err := fetch(client, "http://"+admin+"/healthz", &buf); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: health:", err)
+		return 1
+	}
+	fmt.Print(buf.String())
+	if !strings.HasPrefix(buf.String(), "ok") {
 		return 1
 	}
 	return 0

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/obs"
 	"avdb/internal/site"
@@ -55,6 +56,12 @@ func main() {
 		flushMS  = flag.Int("flush-ms", 500, "anti-entropy interval in milliseconds")
 		admin    = flag.String("admin", "", "admin HTTP listen address for /healthz, /metrics, /trace (empty = disabled)")
 		traceBuf = flag.Int("trace-buf", trace.DefaultCapacity, "finished spans kept for /trace (with -admin)")
+
+		heartbeatMS  = flag.Int("heartbeat-ms", 1000, "peer liveness probe interval in milliseconds (0 = off)")
+		suspectMS    = flag.Int("suspect-after-ms", 0, "consecutive-failure duration before a peer is suspected (0 = default)")
+		flushPeerMS  = flag.Int("flush-peer-ms", 2000, "per-peer deadline within one anti-entropy flush (0 = unbounded)")
+		escrow       = flag.Bool("escrow", false, "make remote AV grants crash-safe escrowed transfers")
+		retransmitMS = flag.Int("retransmit-ms", 0, "inter-site RPC retransmission interval in milliseconds (0 = off; receivers dedup)")
 	)
 	flag.Parse()
 
@@ -74,21 +81,31 @@ func main() {
 	}
 
 	network := &tcpnet.Network{Cfg: tcpnet.Config{
-		ID:       wire.SiteID(*id),
-		Listen:   *listen,
-		Peers:    addrs,
-		Registry: registry,
-		Tracer:   tracer,
+		ID:                 wire.SiteID(*id),
+		Listen:             *listen,
+		Peers:              addrs,
+		Registry:           registry,
+		Tracer:             tracer,
+		RetransmitInterval: time.Duration(*retransmitMS) * time.Millisecond,
 	}}
+	var flushBackoff failure.Policy
+	if *flushPeerMS > 0 {
+		flushBackoff = failure.Policy{BaseDelay: 250 * time.Millisecond, MaxDelay: 10 * time.Second}
+	}
 	s, err := site.Open(site.Config{
-		ID:            wire.SiteID(*id),
-		Base:          wire.SiteID(*base),
-		Peers:         peers,
-		StorageDir:    *dir,
-		PersistAV:     *persist,
-		Tracer:        tracer,
-		FlushInterval: time.Duration(*flushMS) * time.Millisecond,
-		SweepInterval: 2 * time.Second,
+		ID:                wire.SiteID(*id),
+		Base:              wire.SiteID(*base),
+		Peers:             peers,
+		StorageDir:        *dir,
+		PersistAV:         *persist,
+		Tracer:            tracer,
+		FlushInterval:     time.Duration(*flushMS) * time.Millisecond,
+		SweepInterval:     2 * time.Second,
+		HeartbeatInterval: time.Duration(*heartbeatMS) * time.Millisecond,
+		SuspectAfter:      time.Duration(*suspectMS) * time.Millisecond,
+		FlushPeerTimeout:  time.Duration(*flushPeerMS) * time.Millisecond,
+		FlushBackoff:      flushBackoff,
+		EscrowTransfers:   *escrow,
 	}, network)
 	if err != nil {
 		log.Fatalf("avnode: open site: %v", err)
@@ -98,6 +115,18 @@ func main() {
 	if *admin != "" {
 		srv := obs.New(obs.Options{Registry: registry, Tracer: tracer})
 		srv.RegisterHistogram("update_latency", updateLatency)
+		// Failure-model counters: how often the node failed over, retried,
+		// aborted, or reconciled — the first place to look when a cluster
+		// is degraded.
+		srv.RegisterCounter("av_failovers", s.Accelerator().Stats().Failovers.Load)
+		srv.RegisterCounter("escrow_settles", s.Accelerator().Stats().Settles.Load)
+		srv.RegisterCounter("escrow_cancels", s.Accelerator().Stats().Cancels.Load)
+		srv.RegisterCounter("twopc_aborts", s.TwoPC().Stats().Aborts.Load)
+		srv.RegisterCounter("twopc_swept", s.TwoPC().Stats().Swept.Load)
+		srv.RegisterCounter("twopc_decision_retries", s.TwoPC().Stats().DecisionRetries.Load)
+		srv.RegisterCounter("suspected_peers", func() int64 {
+			return int64(len(s.Detector().Suspects()))
+		})
 		if err := srv.Start(*admin); err != nil {
 			log.Fatalf("avnode: admin server: %v", err)
 		}

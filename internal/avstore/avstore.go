@@ -27,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 
 	"avdb/internal/av"
@@ -39,15 +40,30 @@ const (
 	opCredit
 	opSpend
 	opTransferOut
+	// opEscrow parks a grant in escrow (amount + transfer id); the units
+	// leave avail but stay in the balance until resolved.
+	opEscrow
+	// opEscrowResolve finishes a transfer: amount 1 means cancel
+	// (refund), 0 means settle (destroy).
+	opEscrowResolve
+	// opOblige records a requester-side settle (amount 0) or cancel
+	// (amount 1) obligation for an inbound transfer; the key field holds
+	// the granter site id. opObligeDone discharges it.
+	opOblige
+	opObligeDone
 )
 
 // Store errors.
 var ErrCorrupt = errors.New("avstore: corrupt journal or snapshot")
 
 const (
-	snapName  = "av-snapshot.db"
-	snapTmp   = "av-snapshot.tmp"
-	snapMagic = "AVDBAVS1"
+	snapName = "av-snapshot.db"
+	snapTmp  = "av-snapshot.tmp"
+	// snapMagicV1 snapshots hold balances only; snapMagic (v2) appends an
+	// escrow section so unresolved transfers survive restart. New
+	// snapshots are v2; v1 still loads (its escrow set is empty).
+	snapMagicV1 = "AVDBAVS1"
+	snapMagic   = "AVDBAVS2"
 )
 
 // Options tune a Store.
@@ -75,7 +91,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("avstore: %w", err)
 	}
 	s := &Store{dir: dir, opts: opts, tbl: av.NewTable()}
-	boundary, balances, err := s.loadSnapshot()
+	boundary, balances, escrows, obls, err := s.loadSnapshot()
 	if err != nil {
 		return nil, err
 	}
@@ -84,6 +100,23 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("%w: negative snapshot balance for %s", ErrCorrupt, key)
 		}
 		if err := s.tbl.Define(key, n); err != nil {
+			return nil, err
+		}
+	}
+	// Balances include escrowed units; move them from avail back into
+	// their transfers so a restart preserves the escrow ledger.
+	for _, esc := range escrows {
+		taken, err := s.tbl.EscrowDebit(esc.Key, esc.Xfer, esc.N)
+		if err != nil {
+			return nil, err
+		}
+		if taken != esc.N {
+			return nil, fmt.Errorf("%w: snapshot escrow %d wants %d of %s, took %d",
+				ErrCorrupt, esc.Xfer, esc.N, esc.Key, taken)
+		}
+	}
+	for _, ob := range obls {
+		if err := s.tbl.AddObligation(ob); err != nil {
 			return nil, err
 		}
 	}
@@ -119,7 +152,20 @@ func (s *Store) applyRecord(payload []byte) error {
 	key := string(r[n : n+int(keyLen)])
 	r = r[n+int(keyLen):]
 	amount, n := binary.Varint(r)
-	if n <= 0 || len(r) != n {
+	if n <= 0 {
+		return ErrCorrupt
+	}
+	r = r[n:]
+	// Escrow and obligation records carry a trailing transfer id.
+	var xfer uint64
+	if op == opEscrow || op == opEscrowResolve || op == opOblige || op == opObligeDone {
+		xfer, n = binary.Uvarint(r)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		r = r[n:]
+	}
+	if len(r) != 0 {
 		return ErrCorrupt
 	}
 	switch op {
@@ -136,6 +182,28 @@ func (s *Store) applyRecord(payload []byte) error {
 			return fmt.Errorf("%w: replayed decrease of %d exceeds balance for %s", ErrCorrupt, amount, key)
 		}
 		return s.tbl.Consume(key, amount)
+	case opEscrow:
+		taken, err := s.tbl.EscrowDebit(key, xfer, amount)
+		if err != nil {
+			return err
+		}
+		if taken != amount {
+			return fmt.Errorf("%w: replayed escrow %d wants %d of %s, took %d", ErrCorrupt, xfer, amount, key, taken)
+		}
+		return nil
+	case opEscrowResolve:
+		// amount 1 = cancel (refund), 0 = settle. Resolving an unknown
+		// transfer is a no-op, so replayed duplicates are harmless.
+		_, err := s.tbl.ResolveEscrow(xfer, amount == 1)
+		return err
+	case opOblige:
+		peer, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			return fmt.Errorf("%w: obligation peer %q", ErrCorrupt, key)
+		}
+		return s.tbl.AddObligation(av.Obligation{Xfer: xfer, Peer: uint32(peer), Cancel: amount == 1})
+	case opObligeDone:
+		return s.tbl.CompleteObligation(xfer)
 	default:
 		return fmt.Errorf("%w: journal op %d", ErrCorrupt, op)
 	}
@@ -143,11 +211,20 @@ func (s *Store) applyRecord(payload []byte) error {
 
 // appendLocked journals one record. Caller holds s.mu.
 func (s *Store) appendLocked(op byte, key string, amount int64) error {
-	payload := make([]byte, 0, 2+len(key)+10)
+	return s.appendXferLocked(op, key, amount, 0)
+}
+
+// appendXferLocked journals one record with a trailing transfer id
+// (escrow ops only). Caller holds s.mu.
+func (s *Store) appendXferLocked(op byte, key string, amount int64, xfer uint64) error {
+	payload := make([]byte, 0, 2+len(key)+20)
 	payload = append(payload, op)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
 	payload = append(payload, key...)
 	payload = binary.AppendVarint(payload, amount)
+	if op == opEscrow || op == opEscrowResolve || op == opOblige || op == opObligeDone {
+		payload = binary.AppendUvarint(payload, xfer)
+	}
 	if _, err := s.journal.Append(payload); err != nil {
 		return err
 	}
@@ -212,6 +289,84 @@ func (s *Store) Debit(key string, n int64) (int64, error) {
 	return taken, nil
 }
 
+// EscrowDebit durably parks up to n available units in escrow for the
+// transfer xfer and returns the amount taken. Like Debit, the journal
+// record lands before the grant leaves the site; on journal failure
+// the in-memory escrow is canceled so nothing escapes unrecorded.
+func (s *Store) EscrowDebit(key string, xfer uint64, n int64) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	taken, err := s.tbl.EscrowDebit(key, xfer, n)
+	if err != nil || taken == 0 {
+		return taken, err
+	}
+	if err := s.appendXferLocked(opEscrow, key, taken, xfer); err != nil {
+		_, _ = s.tbl.ResolveEscrow(xfer, true)
+		return 0, err
+	}
+	return taken, nil
+}
+
+// ResolveEscrow durably finishes transfer xfer (refund=true cancels,
+// false settles). The journal record precedes the table change: a
+// settle that crashed mid-way must re-apply on replay (the requester
+// already owns the units), and a replayed cancel is equally safe
+// because the refund is rebuilt from the same journal.
+func (s *Store) ResolveEscrow(xfer uint64, refund bool) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Peek first: resolving an unknown transfer is a no-op and should
+	// not pollute the journal.
+	if s.tbl.EscrowAmount(xfer) == 0 {
+		return 0, nil
+	}
+	amount := int64(0)
+	if refund {
+		amount = 1
+	}
+	if err := s.appendXferLocked(opEscrowResolve, "", amount, xfer); err != nil {
+		return 0, err
+	}
+	return s.tbl.ResolveEscrow(xfer, refund)
+}
+
+// Escrowed implements core.AVTable.
+func (s *Store) Escrowed(key string) int64 { return s.tbl.Escrowed(key) }
+
+// PendingEscrows returns the unresolved outbound transfers.
+func (s *Store) PendingEscrows() []av.Escrow { return s.tbl.PendingEscrows() }
+
+// AddObligation durably records a settle/cancel obligation for an
+// inbound transfer. The journal record precedes the table change so the
+// obligation is re-driven after a crash; the effect it guards (the
+// local credit) is journaled after it.
+func (s *Store) AddObligation(ob av.Obligation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	amount := int64(0)
+	if ob.Cancel {
+		amount = 1
+	}
+	peer := strconv.FormatUint(uint64(ob.Peer), 10)
+	if err := s.appendXferLocked(opOblige, peer, amount, ob.Xfer); err != nil {
+		return err
+	}
+	return s.tbl.AddObligation(ob)
+}
+
+// CompleteObligation durably discharges the obligation for xfer.
+func (s *Store) CompleteObligation(xfer uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendXferLocked(opObligeDone, "", 0, xfer); err != nil {
+		return err
+	}
+	return s.tbl.CompleteObligation(xfer)
+}
+
+// Obligations returns the outstanding obligations.
+func (s *Store) Obligations() []av.Obligation { return s.tbl.Obligations() }
+
 // --- volatile operations (reservations; pass through) ---
 
 // Defined implements core.AVTable.
@@ -268,19 +423,21 @@ func (s *Store) Checkpoint() error {
 	for _, key := range s.tbl.Keys() {
 		balances[key] = s.tbl.Total(key)
 	}
-	if err := s.writeSnapshot(boundary, balances); err != nil {
+	if err := s.writeSnapshot(boundary, balances, s.tbl.PendingEscrows(), s.tbl.Obligations()); err != nil {
 		return err
 	}
 	return s.journal.TruncateBefore(boundary + 1)
 }
 
-// writeSnapshot dumps balances atomically.
-func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64) error {
+// writeSnapshot dumps balances, the escrow ledger, and the obligation
+// ledger atomically.
+func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64, escrows []av.Escrow, obls []av.Obligation) error {
 	keys := make([]string, 0, len(balances))
 	for k := range balances {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	sort.Slice(escrows, func(i, j int) bool { return escrows[i].Xfer < escrows[j].Xfer })
 	var body []byte
 	body = binary.LittleEndian.AppendUint64(body, boundary)
 	body = binary.AppendUvarint(body, uint64(len(keys)))
@@ -288,6 +445,24 @@ func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64) error 
 		body = binary.AppendUvarint(body, uint64(len(k)))
 		body = append(body, k...)
 		body = binary.AppendVarint(body, balances[k])
+	}
+	body = binary.AppendUvarint(body, uint64(len(escrows)))
+	for _, esc := range escrows {
+		body = binary.AppendUvarint(body, esc.Xfer)
+		body = binary.AppendUvarint(body, uint64(len(esc.Key)))
+		body = append(body, esc.Key...)
+		body = binary.AppendVarint(body, esc.N)
+	}
+	sort.Slice(obls, func(i, j int) bool { return obls[i].Xfer < obls[j].Xfer })
+	body = binary.AppendUvarint(body, uint64(len(obls)))
+	for _, ob := range obls {
+		body = binary.AppendUvarint(body, ob.Xfer)
+		body = binary.AppendUvarint(body, uint64(ob.Peer))
+		cancel := int64(0)
+		if ob.Cancel {
+			cancel = 1
+		}
+		body = binary.AppendVarint(body, cancel)
 	}
 	out := make([]byte, 0, len(snapMagic)+4+len(body))
 	out = append(out, snapMagic...)
@@ -300,49 +475,107 @@ func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64) error 
 	return os.Rename(tmp, filepath.Join(s.dir, snapName))
 }
 
-// loadSnapshot reads the snapshot if present.
-func (s *Store) loadSnapshot() (uint64, map[string]int64, error) {
+// loadSnapshot reads the snapshot if present. Both the v1 format (balances
+// only) and the v2 format (balances plus the pending-escrow ledger) are
+// accepted; a v1 snapshot simply yields no escrows.
+func (s *Store) loadSnapshot() (uint64, map[string]int64, []av.Escrow, []av.Obligation, error) {
 	data, err := os.ReadFile(filepath.Join(s.dir, snapName))
 	if os.IsNotExist(err) {
-		return 0, nil, nil
+		return 0, nil, nil, nil, nil
 	}
 	if err != nil {
-		return 0, nil, fmt.Errorf("avstore: %w", err)
+		return 0, nil, nil, nil, fmt.Errorf("avstore: %w", err)
 	}
-	if len(data) < len(snapMagic)+4 || string(data[:len(snapMagic)]) != snapMagic {
-		return 0, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	if len(data) < len(snapMagic)+4 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	magic := string(data[:len(snapMagic)])
+	if magic != snapMagic && magic != snapMagicV1 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
 	}
 	sum := binary.LittleEndian.Uint32(data[len(snapMagic):])
 	body := data[len(snapMagic)+4:]
 	if crc32.ChecksumIEEE(body) != sum {
-		return 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+		return 0, nil, nil, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
 	}
 	if len(body) < 8 {
-		return 0, nil, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+		return 0, nil, nil, nil, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
 	}
 	boundary := binary.LittleEndian.Uint64(body)
 	body = body[8:]
 	count, n := binary.Uvarint(body)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("%w: snapshot count", ErrCorrupt)
+		return 0, nil, nil, nil, fmt.Errorf("%w: snapshot count", ErrCorrupt)
 	}
 	body = body[n:]
 	balances := make(map[string]int64, count)
 	for i := uint64(0); i < count; i++ {
 		keyLen, n := binary.Uvarint(body)
 		if n <= 0 || keyLen > uint64(len(body)-n) {
-			return 0, nil, fmt.Errorf("%w: snapshot key", ErrCorrupt)
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot key", ErrCorrupt)
 		}
 		key := string(body[n : n+int(keyLen)])
 		body = body[n+int(keyLen):]
 		amount, n := binary.Varint(body)
 		if n <= 0 {
-			return 0, nil, fmt.Errorf("%w: snapshot amount", ErrCorrupt)
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot amount", ErrCorrupt)
 		}
 		body = body[n:]
 		balances[key] = amount
 	}
-	return boundary, balances, nil
+	if magic == snapMagicV1 {
+		return boundary, balances, nil, nil, nil
+	}
+	escCount, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: snapshot escrow count", ErrCorrupt)
+	}
+	body = body[n:]
+	escrows := make([]av.Escrow, 0, escCount)
+	for i := uint64(0); i < escCount; i++ {
+		xfer, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot escrow xfer", ErrCorrupt)
+		}
+		body = body[n:]
+		keyLen, n := binary.Uvarint(body)
+		if n <= 0 || keyLen > uint64(len(body)-n) {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot escrow key", ErrCorrupt)
+		}
+		key := string(body[n : n+int(keyLen)])
+		body = body[n+int(keyLen):]
+		amount, n := binary.Varint(body)
+		if n <= 0 {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot escrow amount", ErrCorrupt)
+		}
+		body = body[n:]
+		escrows = append(escrows, av.Escrow{Xfer: xfer, Key: key, N: amount})
+	}
+	oblCount, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: snapshot obligation count", ErrCorrupt)
+	}
+	body = body[n:]
+	obls := make([]av.Obligation, 0, oblCount)
+	for i := uint64(0); i < oblCount; i++ {
+		xfer, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot obligation xfer", ErrCorrupt)
+		}
+		body = body[n:]
+		peer, n := binary.Uvarint(body)
+		if n <= 0 || peer > 0xFFFFFFFF {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot obligation peer", ErrCorrupt)
+		}
+		body = body[n:]
+		cancel, n := binary.Varint(body)
+		if n <= 0 {
+			return 0, nil, nil, nil, fmt.Errorf("%w: snapshot obligation flag", ErrCorrupt)
+		}
+		body = body[n:]
+		obls = append(obls, av.Obligation{Xfer: xfer, Peer: uint32(peer), Cancel: cancel == 1})
+	}
+	return boundary, balances, escrows, obls, nil
 }
 
 // Close syncs and closes the journal.

@@ -1,11 +1,14 @@
 package avstore
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
 	"testing/quick"
 
+	"avdb/internal/av"
 	"avdb/internal/core"
 	"avdb/internal/rng"
 )
@@ -316,5 +319,226 @@ func TestConcurrentDurableOps(t *testing.T) {
 	}
 	if s.Avail("k")+s.Held("k")+total != 1_000_000 {
 		t.Fatalf("accounting: avail=%d held=%d spent=%d", s.Avail("k"), s.Held("k"), total)
+	}
+}
+
+func TestEscrowSurvivesRestartViaJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Define("k", 100); err != nil {
+		t.Fatal(err)
+	}
+	taken, err := s.EscrowDebit("k", 7, 30)
+	if err != nil || taken != 30 {
+		t.Fatalf("EscrowDebit = %d, %v", taken, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if got := s2.Escrowed("k"); got != 30 {
+		t.Fatalf("escrowed after restart = %d, want 30", got)
+	}
+	if got := s2.Avail("k"); got != 70 {
+		t.Fatalf("avail after restart = %d, want 70", got)
+	}
+	if got := s2.Total("k"); got != 100 {
+		t.Fatalf("total after restart = %d, want 100", got)
+	}
+	// The transfer id must still be resolvable.
+	n, err := s2.ResolveEscrow(7, true)
+	if err != nil || n != 30 {
+		t.Fatalf("ResolveEscrow = %d, %v", n, err)
+	}
+	if got := s2.Avail("k"); got != 100 {
+		t.Fatalf("avail after refund = %d, want 100", got)
+	}
+}
+
+func TestEscrowSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Define("k", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EscrowDebit("k", 9, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if got := s2.Escrowed("k"); got != 40 {
+		t.Fatalf("escrowed after checkpoint+restart = %d, want 40", got)
+	}
+	if got := s2.Total("k"); got != 100 {
+		t.Fatalf("total after checkpoint+restart = %d, want 100", got)
+	}
+	// Settle destroys the units at the granter.
+	n, err := s2.ResolveEscrow(9, false)
+	if err != nil || n != 40 {
+		t.Fatalf("ResolveEscrow = %d, %v", n, err)
+	}
+	if got := s2.Total("k"); got != 60 {
+		t.Fatalf("total after settle = %d, want 60", got)
+	}
+}
+
+func TestEscrowResolveSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Define("k", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EscrowDebit("k", 3, 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ResolveEscrow(3, false); err != nil { // settle: destroy
+		t.Fatal(err)
+	}
+	if _, err := s.EscrowDebit("k", 4, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ResolveEscrow(4, true); err != nil { // cancel: refund
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if got := s2.Total("k"); got != 75 {
+		t.Fatalf("total after replay = %d, want 75", got)
+	}
+	if got := s2.Escrowed("k"); got != 0 {
+		t.Fatalf("escrowed after replay = %d, want 0", got)
+	}
+	if got := s2.Avail("k"); got != 75 {
+		t.Fatalf("avail after replay = %d, want 75", got)
+	}
+}
+
+func TestV1SnapshotStillLoads(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Define("k", 55); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the snapshot as v1: same body minus the escrow section,
+	// stamped with the old magic.
+	path := filepath.Join(dir, snapName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := data[len(snapMagic)+4:]
+	// Strip the trailing escrow + obligation sections (two 0x00 count
+	// bytes here).
+	if body[len(body)-1] != 0 || body[len(body)-2] != 0 {
+		t.Fatalf("expected empty escrow/obligation sections, got trailing bytes % x", body[len(body)-2:])
+	}
+	v1body := body[:len(body)-2]
+	out := make([]byte, 0, len(snapMagicV1)+4+len(v1body))
+	out = append(out, snapMagicV1...)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(v1body))
+	out = append(out, sum[:]...)
+	out = append(out, v1body...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if got := s2.Total("k"); got != 55 {
+		t.Fatalf("total from v1 snapshot = %d, want 55", got)
+	}
+	if escs := s2.PendingEscrows(); len(escs) != 0 {
+		t.Fatalf("v1 snapshot produced escrows: %v", escs)
+	}
+}
+
+func TestDuplicateEscrowDebitNotDoubleJournaled(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.Define("k", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EscrowDebit("k", 11, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate request for the same transfer id must be idempotent.
+	taken, err := s.EscrowDebit("k", 11, 20)
+	if err != nil || taken != 20 {
+		t.Fatalf("duplicate EscrowDebit = %d, %v", taken, err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	defer s2.Close()
+	if got := s2.Escrowed("k"); got != 20 {
+		t.Fatalf("escrowed after replay = %d, want 20", got)
+	}
+	if got := s2.Total("k"); got != 100 {
+		t.Fatalf("total after replay = %d, want 100", got)
+	}
+}
+
+func TestObligationsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir)
+	if err := s.AddObligation(av.Obligation{Xfer: 21, Peer: 3, Cancel: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddObligation(av.Obligation{Xfer: 22, Peer: 5, Cancel: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteObligation(21); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir)
+	obls := s2.Obligations()
+	if len(obls) != 1 || obls[0] != (av.Obligation{Xfer: 22, Peer: 5, Cancel: true}) {
+		t.Fatalf("obligations after journal replay = %v", obls)
+	}
+	// And through a checkpoint (snapshot path).
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openStore(t, dir)
+	defer s3.Close()
+	obls = s3.Obligations()
+	if len(obls) != 1 || obls[0] != (av.Obligation{Xfer: 22, Peer: 5, Cancel: true}) {
+		t.Fatalf("obligations after snapshot = %v", obls)
+	}
+	if err := s3.CompleteObligation(22); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Obligations(); len(got) != 0 {
+		t.Fatalf("obligations after discharge = %v", got)
 	}
 }

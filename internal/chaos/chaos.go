@@ -1,0 +1,160 @@
+// Package chaos injects deterministic network faults into avdb's
+// transports. An Injector implements transport.Interceptor: both memnet
+// and tcpnet consult it on every message they are about to deliver, so
+// one seeded Injector drives per-link drop/delay/duplication,
+// symmetric and asymmetric partitions — reproducibly, from a single
+// seed. A Script layers scenario control on top: a sequence of timed
+// steps (partition, heal, crash, restart, drop-rate changes) applied to
+// an Env (the cluster package adapts its site set), which is how the
+// conservation soak tests drive drops + partitions + crash-restarts
+// from one deterministic schedule.
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"avdb/internal/rng"
+	"avdb/internal/transport"
+	"avdb/internal/wire"
+)
+
+// link is a directed site pair.
+type link struct {
+	from, to wire.SiteID
+}
+
+// LinkFaults are the probabilistic faults applied to one direction of
+// one link (or, via Injector.SetDefault, to every link).
+type LinkFaults struct {
+	// Drop is the probability in [0, 1] a message is discarded.
+	Drop float64
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64
+	// Delay is the maximum extra delivery latency; each delayed message
+	// draws uniformly from [0, Delay].
+	Delay time.Duration
+	// DelayProb is the probability a message is delayed at all.
+	DelayProb float64
+}
+
+// Injector is a seeded transport.Interceptor. The zero value is not
+// usable; construct with NewInjector. All methods are safe for
+// concurrent use.
+type Injector struct {
+	mu       sync.Mutex
+	rnd      *rng.Rand
+	def      LinkFaults
+	perLink  map[link]*LinkFaults
+	severed  map[link]bool // one-way partitions: from -> to blocked
+	disabled bool
+}
+
+// NewInjector returns an injector drawing from a deterministic stream
+// seeded with seed. With no further configuration it injects nothing.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		rnd:     rng.New(seed),
+		perLink: make(map[link]*LinkFaults),
+		severed: make(map[link]bool),
+	}
+}
+
+// SetDefault sets the faults applied to every link without a per-link
+// override.
+func (inj *Injector) SetDefault(f LinkFaults) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.def = f
+}
+
+// SetLink overrides the faults for the directed link from -> to.
+func (inj *Injector) SetLink(from, to wire.SiteID, f LinkFaults) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.perLink[link{from, to}] = &f
+}
+
+// Partition severs both directions between every pair (a, b) with a in
+// groupA and b in groupB.
+func (inj *Injector) Partition(groupA, groupB []wire.SiteID) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			inj.severed[link{a, b}] = true
+			inj.severed[link{b, a}] = true
+		}
+	}
+}
+
+// PartitionOneWay severs only messages flowing from -> to, modeling an
+// asymmetric failure (to can still reach from).
+func (inj *Injector) PartitionOneWay(from, to wire.SiteID) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.severed[link{from, to}] = true
+}
+
+// Isolate severs both directions between site and every peer in peers.
+func (inj *Injector) Isolate(site wire.SiteID, peers []wire.SiteID) {
+	inj.Partition([]wire.SiteID{site}, peers)
+}
+
+// Heal removes every partition (probabilistic faults keep applying).
+func (inj *Injector) Heal() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.severed = make(map[link]bool)
+}
+
+// HealLink restores the directed link from -> to.
+func (inj *Injector) HealLink(from, to wire.SiteID) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	delete(inj.severed, link{from, to})
+}
+
+// Disable turns the injector into a no-op (used to quiesce a scenario
+// before checking invariants); Enable restores it.
+func (inj *Injector) Disable() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.disabled = true
+}
+
+// Enable re-activates a disabled injector.
+func (inj *Injector) Enable() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.disabled = false
+}
+
+// Intercept implements transport.Interceptor.
+func (inj *Injector) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.disabled {
+		return transport.Fault{}
+	}
+	if inj.severed[link{from, to}] {
+		return transport.Fault{Drop: true}
+	}
+	f := &inj.def
+	if lf := inj.perLink[link{from, to}]; lf != nil {
+		f = lf
+	}
+	var out transport.Fault
+	// Always consume the same number of draws per call so the stream
+	// position depends only on how many messages were intercepted, not on
+	// which faults are configured — reconfiguring mid-scenario (a script
+	// step changing drop rates) stays reproducible.
+	out.Drop = inj.rnd.Float64() < f.Drop
+	out.Duplicate = inj.rnd.Float64() < f.Duplicate
+	delayed := inj.rnd.Float64() < f.DelayProb
+	delayDraw := inj.rnd.Int63()
+	if delayed && f.Delay > 0 {
+		out.Delay = time.Duration(delayDraw % (int64(f.Delay) + 1))
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"avdb/internal/wire"
+)
+
+func TestInjectorDefaultIsClean(t *testing.T) {
+	inj := NewInjector(1)
+	for i := 0; i < 100; i++ {
+		f := inj.Intercept(1, 2, false, wire.KindAVRequest)
+		if f.Drop || f.Duplicate || f.Delay != 0 {
+			t.Fatalf("unconfigured injector produced fault %+v", f)
+		}
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() []transportFaultKey {
+		inj := NewInjector(42)
+		inj.SetDefault(LinkFaults{Drop: 0.3, Duplicate: 0.2, Delay: time.Millisecond, DelayProb: 0.5})
+		var out []transportFaultKey
+		for i := 0; i < 200; i++ {
+			f := inj.Intercept(1, 2, i%2 == 0, wire.KindAVRequest)
+			out = append(out, transportFaultKey{f.Drop, f.Duplicate, f.Delay})
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+type transportFaultKey struct {
+	drop, dup bool
+	delay     time.Duration
+}
+
+func TestInjectorDropRate(t *testing.T) {
+	inj := NewInjector(7)
+	inj.SetDefault(LinkFaults{Drop: 0.25})
+	drops := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+			drops++
+		}
+	}
+	if drops < n/5 || drops > n/3 {
+		t.Fatalf("drop rate %d/%d far from 0.25", drops, n)
+	}
+}
+
+func TestInjectorPartition(t *testing.T) {
+	inj := NewInjector(1)
+	inj.Partition([]wire.SiteID{1}, []wire.SiteID{2, 3})
+	if !inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("1->2 not severed")
+	}
+	if !inj.Intercept(3, 1, true, wire.KindAVReply).Drop {
+		t.Fatal("3->1 not severed")
+	}
+	if inj.Intercept(2, 3, false, wire.KindAVRequest).Drop {
+		t.Fatal("2->3 severed but both are in group B")
+	}
+	inj.Heal()
+	if inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("heal did not restore 1->2")
+	}
+}
+
+func TestInjectorOneWayPartition(t *testing.T) {
+	inj := NewInjector(1)
+	inj.PartitionOneWay(1, 2)
+	if !inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("1->2 not severed")
+	}
+	if inj.Intercept(2, 1, false, wire.KindAVRequest).Drop {
+		t.Fatal("reverse direction severed by one-way partition")
+	}
+}
+
+func TestInjectorPerLinkOverride(t *testing.T) {
+	inj := NewInjector(9)
+	inj.SetLink(1, 2, LinkFaults{Drop: 1})
+	if !inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("per-link drop=1 did not drop")
+	}
+	if inj.Intercept(1, 3, false, wire.KindAVRequest).Drop {
+		t.Fatal("other link affected by per-link override")
+	}
+}
+
+func TestInjectorDisable(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetDefault(LinkFaults{Drop: 1})
+	inj.Partition([]wire.SiteID{1}, []wire.SiteID{2})
+	inj.Disable()
+	if f := inj.Intercept(1, 2, false, wire.KindAVRequest); f.Drop {
+		t.Fatal("disabled injector still dropping")
+	}
+	inj.Enable()
+	if !inj.Intercept(1, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("enable did not restore faults")
+	}
+}
+
+// scriptEnv records crash/restart calls.
+type scriptEnv struct {
+	sites []wire.SiteID
+	log   []string
+}
+
+func (e *scriptEnv) Sites() []wire.SiteID { return e.sites }
+func (e *scriptEnv) Crash(s wire.SiteID) error {
+	e.log = append(e.log, fmt.Sprintf("crash %d", s))
+	return nil
+}
+func (e *scriptEnv) Restart(s wire.SiteID) error {
+	e.log = append(e.log, fmt.Sprintf("restart %d", s))
+	return nil
+}
+
+func TestScriptParseAndAdvance(t *testing.T) {
+	script, err := Parse(`
+# scenario: drop, partition, crash-restart, heal
+at 10 drop 0.05
+at 20 partition 0 1 | 2
+at 30 crash 2
+at 40 restart 2
+at 50 heal
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInjector(1)
+	env := &scriptEnv{sites: []wire.SiteID{0, 1, 2}}
+
+	if n, err := script.Advance(5, inj, env); n != 0 || err != nil {
+		t.Fatalf("Advance(5) = %d, %v", n, err)
+	}
+	if n, err := script.Advance(25, inj, env); n != 2 || err != nil {
+		t.Fatalf("Advance(25) = %d, %v", n, err)
+	}
+	if !inj.Intercept(0, 2, false, wire.KindAVRequest).Drop {
+		t.Fatal("partition step not applied")
+	}
+	if n, err := script.Advance(50, inj, env); n != 3 || err != nil {
+		t.Fatalf("Advance(50) = %d, %v", n, err)
+	}
+	if !script.Done() {
+		t.Fatal("script not done")
+	}
+	want := []string{"crash 2", "restart 2"}
+	if len(env.log) != len(want) || env.log[0] != want[0] || env.log[1] != want[1] {
+		t.Fatalf("env log = %v want %v", env.log, want)
+	}
+	// Healed, and default drop 0.05 still active (probabilistic — just
+	// check the partition is gone by sampling; drop=0.05 rarely fires 40x
+	// in a row).
+	dropped := 0
+	for i := 0; i < 40; i++ {
+		if inj.Intercept(0, 2, false, wire.KindAVRequest).Drop {
+			dropped++
+		}
+	}
+	if dropped == 40 {
+		t.Fatal("heal did not remove partition")
+	}
+}
+
+func TestScriptParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"at x crash 1",
+		"at 10 crash",
+		"at 10 partition 1 2",
+		"at 10 drop 1.5",
+		"at 10 explode 1",
+		"crash 1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestScriptStepOrder(t *testing.T) {
+	script := NewScript([]Step{
+		{At: 30, Op: OpRestart, Sites: []wire.SiteID{1}},
+		{At: 10, Op: OpCrash, Sites: []wire.SiteID{1}},
+	})
+	inj := NewInjector(1)
+	env := &scriptEnv{sites: []wire.SiteID{1}}
+	script.Advance(100, inj, env)
+	if len(env.log) != 2 || env.log[0] != "crash 1" || env.log[1] != "restart 1" {
+		t.Fatalf("steps applied out of order: %v", env.log)
+	}
+}

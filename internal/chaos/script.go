@@ -1,0 +1,249 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"avdb/internal/wire"
+)
+
+// Env is the world a Script acts on. The cluster package adapts its
+// site set to this interface; tests can stub it.
+type Env interface {
+	// Sites lists every site in the scenario.
+	Sites() []wire.SiteID
+	// Crash tears site down (its node leaves the network; in-memory
+	// state is lost).
+	Crash(site wire.SiteID) error
+	// Restart rebuilds a crashed site from its durable state (WAL).
+	Restart(site wire.SiteID) error
+}
+
+// Op is one kind of scripted action.
+type Op int
+
+// Script operations.
+const (
+	// OpPartition severs the two site groups from each other.
+	OpPartition Op = iota
+	// OpPartitionOneWay severs messages from Sites[0] to Sites[1] only.
+	OpPartitionOneWay
+	// OpHeal removes all partitions.
+	OpHeal
+	// OpCrash crashes Sites[0].
+	OpCrash
+	// OpRestart restarts Sites[0] from its WAL.
+	OpRestart
+	// OpDrop sets the default per-message drop probability to Prob.
+	OpDrop
+)
+
+var opNames = map[Op]string{
+	OpPartition:       "partition",
+	OpPartitionOneWay: "partition-oneway",
+	OpHeal:            "heal",
+	OpCrash:           "crash",
+	OpRestart:         "restart",
+	OpDrop:            "drop",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Step is one timed action. At is a logical tick: the driver advances
+// its own tick counter (one per workload operation, say) and applies
+// every step whose tick has arrived.
+type Step struct {
+	At    int64
+	Op    Op
+	Sites []wire.SiteID // OpPartition: groups split by GroupSplit; others: operand sites
+	// GroupSplit is the index in Sites where group B starts (OpPartition).
+	GroupSplit int
+	// Prob is the drop probability operand (OpDrop).
+	Prob float64
+}
+
+// Script is a deterministic fault schedule: steps sorted by tick,
+// applied at most once each.
+type Script struct {
+	steps []Step
+	next  int
+}
+
+// NewScript returns a script over the given steps (sorted by At;
+// ties apply in the order given).
+func NewScript(steps []Step) *Script {
+	s := &Script{steps: append([]Step(nil), steps...)}
+	sort.SliceStable(s.steps, func(i, j int) bool { return s.steps[i].At < s.steps[j].At })
+	return s
+}
+
+// Done reports whether every step has been applied.
+func (s *Script) Done() bool { return s.next >= len(s.steps) }
+
+// Advance applies every not-yet-applied step with At <= tick, in
+// order, against inj and env. It returns the number of steps applied
+// and the first error (later steps still run — a scenario should not
+// silently diverge from its schedule because one crash failed).
+func (s *Script) Advance(tick int64, inj *Injector, env Env) (int, error) {
+	applied := 0
+	var firstErr error
+	for s.next < len(s.steps) && s.steps[s.next].At <= tick {
+		step := s.steps[s.next]
+		s.next++
+		applied++
+		if err := applyStep(step, inj, env); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("chaos: step %d (%s at %d): %w", s.next-1, step.Op, step.At, err)
+		}
+	}
+	return applied, firstErr
+}
+
+func applyStep(step Step, inj *Injector, env Env) error {
+	switch step.Op {
+	case OpPartition:
+		split := step.GroupSplit
+		if split <= 0 || split >= len(step.Sites) {
+			return fmt.Errorf("bad group split %d of %d sites", split, len(step.Sites))
+		}
+		inj.Partition(step.Sites[:split], step.Sites[split:])
+	case OpPartitionOneWay:
+		if len(step.Sites) != 2 {
+			return fmt.Errorf("partition-oneway needs 2 sites, got %d", len(step.Sites))
+		}
+		inj.PartitionOneWay(step.Sites[0], step.Sites[1])
+	case OpHeal:
+		inj.Heal()
+	case OpCrash:
+		if len(step.Sites) != 1 {
+			return fmt.Errorf("crash needs 1 site, got %d", len(step.Sites))
+		}
+		return env.Crash(step.Sites[0])
+	case OpRestart:
+		if len(step.Sites) != 1 {
+			return fmt.Errorf("restart needs 1 site, got %d", len(step.Sites))
+		}
+		return env.Restart(step.Sites[0])
+	case OpDrop:
+		inj.SetDefault(LinkFaults{Drop: step.Prob})
+	default:
+		return fmt.Errorf("unknown op %v", step.Op)
+	}
+	return nil
+}
+
+// Parse reads a scenario from text, one step per line:
+//
+//	at 100 partition 1 2 | 3
+//	at 150 partition-oneway 1 3
+//	at 200 crash 2
+//	at 250 restart 2
+//	at 300 drop 0.05
+//	at 400 heal
+//
+// Blank lines and lines starting with '#' are ignored. Site operands
+// are site IDs; '|' splits the two partition groups.
+func Parse(text string) (*Script, error) {
+	var steps []Step
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		step, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", lineNo+1, err)
+		}
+		steps = append(steps, step)
+	}
+	return NewScript(steps), nil
+}
+
+func parseLine(line string) (Step, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "at" {
+		return Step{}, fmt.Errorf("want %q, got %q", "at <tick> <op> ...", line)
+	}
+	tick, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Step{}, fmt.Errorf("bad tick %q: %v", fields[1], err)
+	}
+	step := Step{At: tick}
+	opName, args := fields[2], fields[3:]
+	switch opName {
+	case "partition":
+		step.Op = OpPartition
+		for _, a := range args {
+			if a == "|" {
+				step.GroupSplit = len(step.Sites)
+				continue
+			}
+			id, err := parseSite(a)
+			if err != nil {
+				return Step{}, err
+			}
+			step.Sites = append(step.Sites, id)
+		}
+		if step.GroupSplit == 0 {
+			return Step{}, fmt.Errorf("partition needs a %q group separator", "|")
+		}
+	case "partition-oneway":
+		step.Op = OpPartitionOneWay
+		if err := parseSites(&step, args, 2); err != nil {
+			return Step{}, err
+		}
+	case "heal":
+		step.Op = OpHeal
+	case "crash":
+		step.Op = OpCrash
+		if err := parseSites(&step, args, 1); err != nil {
+			return Step{}, err
+		}
+	case "restart":
+		step.Op = OpRestart
+		if err := parseSites(&step, args, 1); err != nil {
+			return Step{}, err
+		}
+	case "drop":
+		step.Op = OpDrop
+		if len(args) != 1 {
+			return Step{}, fmt.Errorf("drop needs 1 probability, got %d args", len(args))
+		}
+		p, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return Step{}, fmt.Errorf("bad drop probability %q", args[0])
+		}
+		step.Prob = p
+	default:
+		return Step{}, fmt.Errorf("unknown op %q", opName)
+	}
+	return step, nil
+}
+
+func parseSite(s string) (wire.SiteID, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad site id %q: %v", s, err)
+	}
+	return wire.SiteID(v), nil
+}
+
+func parseSites(step *Step, args []string, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("%s needs %d site(s), got %d", step.Op, want, len(args))
+	}
+	for _, a := range args {
+		id, err := parseSite(a)
+		if err != nil {
+			return err
+		}
+		step.Sites = append(step.Sites, id)
+	}
+	return nil
+}

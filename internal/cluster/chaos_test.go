@@ -7,7 +7,9 @@ import (
 	"testing/quick"
 	"time"
 
+	"avdb/internal/chaos"
 	"avdb/internal/core"
+	"avdb/internal/failure"
 	"avdb/internal/rng"
 	"avdb/internal/transport"
 	"avdb/internal/twopc"
@@ -157,6 +159,116 @@ func TestChaosFixedSeedLong(t *testing.T) {
 		t.Skip("chaos run is slow")
 	}
 	if err := chaosRun(t, 424242, 800); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosSoakScripted is the conservation soak for the full failure
+// model: durable sites on a fault-injected network run a seeded
+// workload through scripted 5% message loss, a symmetric partition, and
+// a crash-restart-from-WAL of one site, with escrowed AV transfers,
+// retransmission, per-peer flush backoff and failure detection all on.
+// After the scenario heals and the cluster quiesces (sweeps, escrow
+// reconciliation, anti-entropy), every invariant must hold: replicas
+// converge, sum(AV) equals the surviving stock, and no hold or escrow
+// is left behind — a crash may lose slack, never mint it.
+func TestChaosSoakScripted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is slow")
+	}
+	inj := chaos.NewInjector(2026)
+	c, err := New(Config{
+		Sites:              4,
+		Items:              3,
+		InitialAmount:      120,
+		NonRegularFraction: 0.34,
+		Seed:               99,
+		Dir:                t.TempDir(),
+		Interceptor:        inj,
+		RetransmitInterval: 25 * time.Millisecond,
+		CallTimeout:        250 * time.Millisecond,
+		LockTimeout:        250 * time.Millisecond,
+		PrepareTimeout:     250 * time.Millisecond,
+		RequestTimeout:     250 * time.Millisecond,
+		FlushPeerTimeout:   200 * time.Millisecond,
+		FlushBackoff:       failure.Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 800 * time.Millisecond},
+		SuspectAfter:       500 * time.Millisecond,
+		EscrowTransfers:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	script, err := chaos.Parse(`
+		# ambient loss for the whole run
+		at 0 drop 0.05
+		# split {0,1} | {2,3} for a while
+		at 60 partition 0 1 | 2 3
+		at 75 heal
+		# kill site 2, bring it back from its WAL
+		at 110 crash 2
+		at 140 restart 2
+		# clean network for the tail of the run
+		at 180 drop 0
+		at 180 heal
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := c.ChaosEnv()
+	ctx := context.Background()
+	r := rng.New(7)
+	allKeys := append(append([]string{}, c.RegularKeys...), c.NonRegularKeys...)
+
+	const ticks = 200
+	for tick := int64(0); tick < ticks; tick++ {
+		if _, err := script.Advance(tick, inj, env); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+		idx := r.Intn(4)
+		if c.SiteDown(idx) {
+			continue
+		}
+		key := allKeys[r.Intn(len(allKeys))]
+		delta := -r.Range(1, 5)
+		if _, err := c.Update(ctx, idx, key, delta); err != nil && !expectedChaosErr(err) {
+			t.Fatalf("tick %d site %d key %s: %v", tick, idx, key, err)
+		}
+		if tick%20 == 19 {
+			_ = c.FlushAll(ctx) // partial failure is the point
+		}
+	}
+	if !script.Done() {
+		t.Fatal("scenario script did not run to completion")
+	}
+
+	// Quiesce: stop injecting, drain orphaned 2PC state, settle escrow
+	// obligations, and let anti-entropy outlast the flush backoff
+	// windows opened during the faults.
+	inj.SetDefault(chaos.LinkFaults{})
+	inj.Heal()
+	for round := 0; round < 6; round++ {
+		hctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		for i, s := range c.Sites {
+			if c.SiteDown(i) {
+				continue
+			}
+			s.TwoPC().Sweep(time.Now().Add(time.Hour))
+			s.Heartbeat(hctx)
+		}
+		cancel()
+		if err := c.FlushAll(ctx); err != nil {
+			t.Fatalf("quiesce flush round %d: %v", round, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	for i, s := range c.Sites {
+		if got := len(s.Accelerator().Obligations()); got != 0 {
+			t.Fatalf("site %d still holds %d escrow obligations after quiesce", i, got)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -8,14 +8,19 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sync"
 	"time"
 
+	"avdb/internal/chaos"
 	"avdb/internal/core"
+	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/site"
 	"avdb/internal/storage"
 	"avdb/internal/strategy"
 	"avdb/internal/trace"
+	"avdb/internal/transport"
 	"avdb/internal/transport/memnet"
 	"avdb/internal/wire"
 )
@@ -59,6 +64,25 @@ type Config struct {
 	LockTimeout, RequestTimeout, PrepareTimeout time.Duration
 	// FlushInterval/SweepInterval enable background loops on every site.
 	FlushInterval, SweepInterval time.Duration
+	// Dir, when non-empty, makes every site durable: site i keeps its
+	// storage and AV journal under Dir/site-<i>, so a crashed site can be
+	// restarted from its WAL (RestartSite). Durable sites run with fsync
+	// off — the chaos scenarios model process crashes, not disk loss.
+	Dir string
+	// Interceptor, when non-nil, is consulted for every message on the
+	// in-process network — the seam chaos.Injector plugs into.
+	Interceptor transport.Interceptor
+	// RetransmitInterval enables Call retransmission on the network
+	// (receivers dedup), letting RPCs ride out injected drops.
+	RetransmitInterval time.Duration
+	// HeartbeatInterval/SuspectAfter run each site's failure detector.
+	HeartbeatInterval, SuspectAfter time.Duration
+	// FlushPeerTimeout/FlushBackoff bound and back off per-peer flushes.
+	FlushPeerTimeout time.Duration
+	FlushBackoff     failure.Policy
+	// EscrowTransfers makes remote AV grants crash-safe escrowed
+	// transfers on every site.
+	EscrowTransfers bool
 }
 
 // Cluster is a running multi-site system.
@@ -72,6 +96,9 @@ type Cluster struct {
 	// (Immediate Update).
 	RegularKeys    []string
 	NonRegularKeys []string
+
+	mu   sync.Mutex
+	down map[int]bool // crashed sites (durable clusters only)
 }
 
 // KeyName returns the catalog key for item i.
@@ -91,11 +118,14 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		Cfg:      cfg,
 		Registry: cfg.Registry,
+		down:     make(map[int]bool),
 		Net: memnet.New(memnet.Options{
-			Registry:    cfg.Registry,
-			Latency:     cfg.Latency,
-			CallTimeout: cfg.CallTimeout,
-			Tracer:      cfg.Tracer,
+			Registry:           cfg.Registry,
+			Latency:            cfg.Latency,
+			CallTimeout:        cfg.CallTimeout,
+			Tracer:             cfg.Tracer,
+			Interceptor:        cfg.Interceptor,
+			RetransmitInterval: cfg.RetransmitInterval,
 		}),
 	}
 
@@ -118,33 +148,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	for id := 0; id < cfg.Sites; id++ {
-		var peers []wire.SiteID
-		for p := 0; p < cfg.Sites; p++ {
-			if p != id {
-				peers = append(peers, wire.SiteID(p))
-			}
-		}
-		policy := cfg.Policy
-		var demand core.DemandObserver
-		if cfg.PolicyFor != nil {
-			policy, demand = cfg.PolicyFor(id)
-		}
-		s, err := site.Open(site.Config{
-			ID:             wire.SiteID(id),
-			Base:           0,
-			Peers:          peers,
-			Policy:         policy,
-			Passes:         cfg.Passes,
-			Seed:           cfg.Seed + uint64(id)*7919,
-			Demand:         demand,
-			DisableGossip:  cfg.DisableGossip,
-			Tracer:         cfg.Tracer,
-			LockTimeout:    cfg.LockTimeout,
-			RequestTimeout: cfg.RequestTimeout,
-			PrepareTimeout: cfg.PrepareTimeout,
-			FlushInterval:  cfg.FlushInterval,
-			SweepInterval:  cfg.SweepInterval,
-		}, c.Net)
+		s, err := site.Open(c.siteConfig(id), c.Net)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -190,6 +194,117 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// siteConfig builds site id's configuration; Open and RestartSite use
+// the same one so a restarted site is the site that crashed.
+func (c *Cluster) siteConfig(id int) site.Config {
+	cfg := c.Cfg
+	var peers []wire.SiteID
+	for p := 0; p < cfg.Sites; p++ {
+		if p != id {
+			peers = append(peers, wire.SiteID(p))
+		}
+	}
+	policy := cfg.Policy
+	var demand core.DemandObserver
+	if cfg.PolicyFor != nil {
+		policy, demand = cfg.PolicyFor(id)
+	}
+	sc := site.Config{
+		ID:                wire.SiteID(id),
+		Base:              0,
+		Peers:             peers,
+		Policy:            policy,
+		Passes:            cfg.Passes,
+		Seed:              cfg.Seed + uint64(id)*7919,
+		Demand:            demand,
+		DisableGossip:     cfg.DisableGossip,
+		Tracer:            cfg.Tracer,
+		LockTimeout:       cfg.LockTimeout,
+		RequestTimeout:    cfg.RequestTimeout,
+		PrepareTimeout:    cfg.PrepareTimeout,
+		FlushInterval:     cfg.FlushInterval,
+		SweepInterval:     cfg.SweepInterval,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		SuspectAfter:      cfg.SuspectAfter,
+		FlushPeerTimeout:  cfg.FlushPeerTimeout,
+		FlushBackoff:      cfg.FlushBackoff,
+		EscrowTransfers:   cfg.EscrowTransfers,
+	}
+	if cfg.Dir != "" {
+		sc.StorageDir = filepath.Join(cfg.Dir, fmt.Sprintf("site-%d", id))
+		sc.PersistAV = true
+		sc.NoSync = true
+	}
+	return sc
+}
+
+// CrashSite tears site idx down: its node leaves the network mid-flight
+// and, for a durable cluster, only the WAL survives. Updates must not
+// be routed to a crashed site until RestartSite.
+func (c *Cluster) CrashSite(idx int) error {
+	if idx < 0 || idx >= len(c.Sites) {
+		return fmt.Errorf("cluster: no site %d", idx)
+	}
+	c.mu.Lock()
+	if c.down[idx] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: site %d already down", idx)
+	}
+	c.down[idx] = true
+	c.mu.Unlock()
+	return c.Sites[idx].Close()
+}
+
+// RestartSite rebuilds a crashed durable site from its on-disk state.
+func (c *Cluster) RestartSite(idx int) error {
+	if c.Cfg.Dir == "" {
+		return fmt.Errorf("cluster: RestartSite requires a durable cluster (Config.Dir)")
+	}
+	if idx < 0 || idx >= len(c.Sites) {
+		return fmt.Errorf("cluster: no site %d", idx)
+	}
+	c.mu.Lock()
+	if !c.down[idx] {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: site %d is not down", idx)
+	}
+	c.mu.Unlock()
+	s, err := site.Reopen(c.siteConfig(idx), c.Net)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.Sites[idx] = s
+	delete(c.down, idx)
+	c.mu.Unlock()
+	return nil
+}
+
+// SiteDown reports whether site idx is currently crashed.
+func (c *Cluster) SiteDown(idx int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down[idx]
+}
+
+// clusterEnv adapts a Cluster to chaos.Env so scripted scenarios can
+// crash and restart its sites.
+type clusterEnv struct{ c *Cluster }
+
+func (e clusterEnv) Sites() []wire.SiteID {
+	ids := make([]wire.SiteID, len(e.c.Sites))
+	for i := range ids {
+		ids[i] = wire.SiteID(i)
+	}
+	return ids
+}
+
+func (e clusterEnv) Crash(s wire.SiteID) error   { return e.c.CrashSite(int(s)) }
+func (e clusterEnv) Restart(s wire.SiteID) error { return e.c.RestartSite(int(s)) }
+
+// ChaosEnv returns the cluster as a chaos.Env.
+func (c *Cluster) ChaosEnv() chaos.Env { return clusterEnv{c} }
+
 // Update applies delta to key at site idx.
 func (c *Cluster) Update(ctx context.Context, idx int, key string, delta int64) (core.Result, error) {
 	return c.Sites[idx].Update(ctx, key, delta)
@@ -200,10 +315,13 @@ func (c *Cluster) Read(idx int, key string) (int64, error) {
 	return c.Sites[idx].Read(key)
 }
 
-// FlushAll pushes every site's replication backlog once.
+// FlushAll pushes every live site's replication backlog once.
 func (c *Cluster) FlushAll(ctx context.Context) error {
 	var firstErr error
-	for _, s := range c.Sites {
+	for i, s := range c.Sites {
+		if c.SiteDown(i) {
+			continue
+		}
 		if err := s.Flush(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -248,11 +366,15 @@ func (c *Cluster) CheckInvariants() error {
 		if avSum != v {
 			return fmt.Errorf("cluster: key %s AV sum %d != global stock %d", key, avSum, v)
 		}
-		// At quiescence no update is in flight, so no reservation may
-		// linger — a leaked hold would silently shrink usable slack.
+		// At quiescence no update is in flight, so no reservation or
+		// unsettled escrow may linger — a leaked hold would silently
+		// shrink usable slack, an unsettled escrow double-counts volume.
 		for i, s := range c.Sites {
 			if held := s.AV().Held(key); held != 0 {
 				return fmt.Errorf("cluster: key %s site %d leaked hold of %d", key, i, held)
+			}
+			if esc := s.AV().Escrowed(key); esc != 0 {
+				return fmt.Errorf("cluster: key %s site %d left %d in escrow", key, i, esc)
 			}
 		}
 	}
@@ -267,8 +389,8 @@ func (c *Cluster) CheckInvariants() error {
 // Close shuts down every site.
 func (c *Cluster) Close() error {
 	var firstErr error
-	for _, s := range c.Sites {
-		if s == nil {
+	for i, s := range c.Sites {
+		if s == nil || c.SiteDown(i) {
 			continue
 		}
 		if err := s.Close(); err != nil && firstErr == nil {

@@ -27,6 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avdb/internal/av"
+	"avdb/internal/failure"
 	"avdb/internal/replica"
 	"avdb/internal/rng"
 	"avdb/internal/strategy"
@@ -74,6 +76,19 @@ type Config struct {
 	DisableGossip bool
 	// Tracer records protocol spans (nil disables tracing).
 	Tracer *trace.Tracer
+	// Detector, when non-nil, feeds AV transfer outcomes into a failure
+	// detector and makes the selecting step fail over: suspect peers are
+	// demoted behind every healthy candidate, so a request reaches the
+	// next-best AV holder instead of timing out on a dead one.
+	Detector *failure.Detector
+	// Escrow switches AV transfers to the escrowed protocol: grants are
+	// parked in the granter's escrow under a unique transfer id and the
+	// requester durably promises (before using the units) to settle or
+	// cancel, so a crash on either side cannot mint AV — at worst it
+	// strands slack until Reconcile re-drives the promise. Off by
+	// default; the healthy-path experiments are byte-identical without
+	// it.
+	Escrow bool
 }
 
 // DemandObserver receives the site's own consumption stream.
@@ -89,6 +104,9 @@ type Stats struct {
 	TransferRounds atomic.Int64 // total AV request round trips issued
 	Immediate      atomic.Int64 // immediate updates attempted
 	Insufficient   atomic.Int64 // delay updates failed for lack of AV
+	Failovers      atomic.Int64 // candidate passes that demoted >= 1 suspect peer
+	Settles        atomic.Int64 // escrowed transfers settled (units destroyed at granter)
+	Cancels        atomic.Int64 // escrowed transfers canceled (units refunded at granter)
 }
 
 // Accelerator is one site's accelerator.
@@ -103,6 +121,11 @@ type Accelerator struct {
 
 	rmu sync.Mutex
 	rnd *rng.Rand
+
+	// xferBase + xferCtr mint transfer ids unique across this site's
+	// restarts (the base is wall-clock entropy, the high bits the site).
+	xferBase uint64
+	xferCtr  atomic.Uint64
 
 	stats Stats
 }
@@ -120,14 +143,22 @@ func New(cfg Config, avt AVTable, tm *txn.Manager, iu *twopc.Engine, repl *repli
 		cfg.RequestTimeout = 2 * time.Second
 	}
 	return &Accelerator{
-		cfg:  cfg,
-		avt:  avt,
-		view: strategy.NewView(),
-		tm:   tm,
-		iu:   iu,
-		repl: repl,
-		rnd:  rng.New(cfg.Seed ^ (uint64(cfg.Site) << 32)),
+		cfg:      cfg,
+		avt:      avt,
+		view:     strategy.NewView(),
+		tm:       tm,
+		iu:       iu,
+		repl:     repl,
+		rnd:      rng.New(cfg.Seed ^ (uint64(cfg.Site) << 32)),
+		xferBase: uint64(time.Now().UnixNano()) & (1<<40 - 1),
 	}
+}
+
+// nextXfer mints a transfer id: site in the high bits, a wall-clock
+// seeded counter in the low 40. Restart uniqueness matters because the
+// granter tombstones resolved ids — a reused id would be refused.
+func (a *Accelerator) nextXfer() uint64 {
+	return uint64(a.cfg.Site)<<40 | ((a.xferBase + a.xferCtr.Add(1)) & (1<<40 - 1))
 }
 
 // SetNode attaches the transport endpoint.
@@ -263,22 +294,44 @@ func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64)
 		a.rmu.Lock()
 		cands = a.cfg.Policy.Selector.Order(cands, a.rnd)
 		a.rmu.Unlock()
+		cands = a.demoteSuspects(cands)
 		progress := false
 		for _, c := range cands {
 			if got >= need {
 				break
 			}
 			req := a.cfg.Policy.Decider.Request(need - got)
+			msg := &wire.AVRequest{Key: key, Amount: req}
+			var xfer uint64
+			if a.cfg.Escrow {
+				xfer = a.nextXfer()
+				msg.Xfer = xfer
+			}
 			cctx, cancel := context.WithTimeout(ctx, a.cfg.RequestTimeout)
-			reply, err := a.node.Call(cctx, c.Site, &wire.AVRequest{Key: key, Amount: req})
+			reply, err := a.node.Call(cctx, c.Site, msg)
 			cancel()
 			rounds++
 			a.stats.TransferRounds.Add(1)
 			if err != nil {
 				// Unreachable peer: remember it as empty so the selector
-				// deprioritizes it until we hear otherwise.
+				// deprioritizes it until we hear otherwise, and tell the
+				// failure detector so the next selecting step fails over.
+				if a.cfg.Detector != nil {
+					a.cfg.Detector.ReportFailure(c.Site)
+				}
+				if xfer != 0 {
+					// The grant may have landed in the peer's escrow even
+					// though the reply never arrived; durably promise to
+					// cancel it so the units are refunded, not stranded.
+					if oerr := a.avt.AddObligation(av.Obligation{Xfer: xfer, Peer: uint32(c.Site), Cancel: true}); oerr != nil {
+						return got, rounds, transferred, oerr
+					}
+				}
 				a.view.Observe(c.Site, key, 0)
 				continue
+			}
+			if a.cfg.Detector != nil {
+				a.cfg.Detector.ReportSuccess(c.Site)
 			}
 			avr, ok := reply.(*wire.AVReply)
 			if !ok {
@@ -288,6 +341,16 @@ func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64)
 				a.view.ObserveAll(avr.View)
 			}
 			if avr.Granted > 0 {
+				if xfer != 0 {
+					// Promise to settle *before* the credit becomes
+					// spendable: a crash between the two loses the units
+					// (the settle destroys the granter's escrow and we
+					// never credited — lost slack, the safe direction),
+					// whereas the opposite order could double them.
+					if oerr := a.avt.AddObligation(av.Obligation{Xfer: xfer, Peer: uint32(c.Site)}); oerr != nil {
+						return got, rounds, transferred, oerr
+					}
+				}
 				if err := a.avt.CreditHeld(key, avr.Granted); err != nil {
 					return got, rounds, transferred, err
 				}
@@ -305,6 +368,93 @@ func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64)
 			ErrInsufficientAV, key, need, got, rounds)
 	}
 	return got, rounds, transferred, nil
+}
+
+// demoteSuspects stably moves candidates the failure detector suspects
+// behind every healthy one: the selecting function's order is kept
+// within each class, but a request always tries the next-best healthy
+// AV holder before burning a timeout on a suspect.
+func (a *Accelerator) demoteSuspects(cands []strategy.Candidate) []strategy.Candidate {
+	if a.cfg.Detector == nil {
+		return cands
+	}
+	healthy := make([]strategy.Candidate, 0, len(cands))
+	var suspect []strategy.Candidate
+	for _, c := range cands {
+		if a.cfg.Detector.Suspect(c.Site) {
+			suspect = append(suspect, c)
+		} else {
+			healthy = append(healthy, c)
+		}
+	}
+	if len(suspect) == 0 {
+		return cands
+	}
+	a.stats.Failovers.Add(1)
+	return append(healthy, suspect...)
+}
+
+// Reconcile re-drives the outstanding settle/cancel obligations of
+// escrowed transfers: for each one it calls the granter with an
+// AVSettle and discharges the obligation on acknowledgement. It returns
+// the number of obligations still outstanding (peers that stayed
+// unreachable) and the first error. Sites call this periodically and
+// after restart; it is idempotent — the granter resolves each transfer
+// at most once and acknowledges duplicates harmlessly.
+func (a *Accelerator) Reconcile(ctx context.Context) (int, error) {
+	obls := a.avt.Obligations()
+	var firstErr error
+	remaining := 0
+	for _, ob := range obls {
+		cctx, cancel := context.WithTimeout(ctx, a.cfg.RequestTimeout)
+		reply, err := a.node.Call(cctx, wire.SiteID(ob.Peer), &wire.AVSettle{Xfer: ob.Xfer, Cancel: ob.Cancel})
+		cancel()
+		if err != nil {
+			if a.cfg.Detector != nil {
+				a.cfg.Detector.ReportFailure(wire.SiteID(ob.Peer))
+			}
+			remaining++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if a.cfg.Detector != nil {
+			a.cfg.Detector.ReportSuccess(wire.SiteID(ob.Peer))
+		}
+		if _, ok := reply.(*wire.AVSettleAck); !ok {
+			remaining++
+			continue
+		}
+		if err := a.avt.CompleteObligation(ob.Xfer); err != nil {
+			remaining++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if ob.Cancel {
+			a.stats.Cancels.Add(1)
+		} else {
+			a.stats.Settles.Add(1)
+		}
+	}
+	return remaining, firstErr
+}
+
+// Obligations exposes the outstanding transfer obligations.
+func (a *Accelerator) Obligations() []av.Obligation { return a.avt.Obligations() }
+
+// HandleSettle is the granter-side handler for AVSettle: it resolves
+// the escrowed transfer (cancel refunds, settle destroys) and reports
+// the amount. Unknown or already-resolved transfers acknowledge with
+// amount 0, so retries and duplicates are harmless.
+func (a *Accelerator) HandleSettle(ctx context.Context, from wire.SiteID, msg *wire.AVSettle) (*wire.AVSettleAck, error) {
+	n, err := a.avt.ResolveEscrow(msg.Xfer, msg.Cancel)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.AVSettleAck{Xfer: msg.Xfer, Amount: n}, nil
 }
 
 // applyLocal commits delta to the local database under a (brief)
@@ -336,7 +486,16 @@ func (a *Accelerator) HandleAVRequest(ctx context.Context, from wire.SiteID, req
 		decider = kd.ForKey(req.Key)
 	}
 	want := decider.Grant(a.avt.Avail(req.Key), req.Amount)
-	granted, err := a.avt.Debit(req.Key, want)
+	var granted int64
+	var err error
+	if req.Xfer != 0 {
+		// Escrowed transfer: the units leave avail but wait under the
+		// transfer id until the requester settles or cancels, so a lost
+		// reply can be refunded instead of stranding the grant.
+		granted, err = a.avt.EscrowDebit(req.Key, req.Xfer, want)
+	} else {
+		granted, err = a.avt.Debit(req.Key, want)
+	}
 	if err != nil {
 		granted = 0
 	}

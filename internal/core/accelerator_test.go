@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"avdb/internal/av"
+	"avdb/internal/failure"
 	"avdb/internal/lockmgr"
 	"avdb/internal/replica"
 	"avdb/internal/storage"
@@ -30,7 +31,12 @@ type testSite struct {
 
 func buildSites(t *testing.T, n int, initial int64, avPer int64, policy strategy.Policy) []*testSite {
 	t.Helper()
-	net := memnet.New(memnet.Options{CallTimeout: time.Second})
+	return buildSitesNet(t, n, initial, avPer, policy, memnet.Options{CallTimeout: time.Second})
+}
+
+func buildSitesNet(t *testing.T, n int, initial int64, avPer int64, policy strategy.Policy, opts memnet.Options) []*testSite {
+	t.Helper()
+	net := memnet.New(opts)
 	sites := make([]*testSite, n)
 	for i := 0; i < n; i++ {
 		eng, err := storage.Open(storage.Options{})
@@ -57,6 +63,9 @@ func buildSites(t *testing.T, n int, initial int64, avPer int64, policy strategy
 				switch m := msg.(type) {
 				case *wire.AVRequest:
 					return ts.acc.HandleAVRequest(ctx, from, m)
+				case *wire.AVSettle:
+					ack, _ := ts.acc.HandleSettle(ctx, from, m)
+					return ack
 				case *wire.IUPrepare:
 					return ts.iu.HandlePrepare(ctx, from, m)
 				case *wire.IUDecision:
@@ -318,5 +327,160 @@ func TestDemandObserverFed(t *testing.T) {
 	defer cap.mu.Unlock()
 	if len(cap.obs) != 1 || cap.obs[0] != 30 {
 		t.Fatalf("observations = %v", cap.obs)
+	}
+}
+
+func TestEscrowTransferSettlesViaReconcile(t *testing.T) {
+	sites := buildSites(t, 2, 1000, 0, strategy.SODA99())
+	sites[0].avt.Credit("k", 400)
+	sites[1].acc.cfg.Escrow = true
+
+	res, err := sites[1].acc.Update(context.Background(), "k", -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transferred != 200 {
+		t.Fatalf("transferred = %d, want 200", res.Transferred)
+	}
+	// The grant is parked in the donor's escrow until settled, so the
+	// cross-site sum of Totals transiently double-counts it...
+	if got := sites[0].avt.Escrowed("k"); got != 200 {
+		t.Fatalf("donor escrow = %d, want 200", got)
+	}
+	obls := sites[1].acc.Obligations()
+	if len(obls) != 1 || obls[0].Cancel {
+		t.Fatalf("obligations = %+v, want one settle", obls)
+	}
+	// ...and Reconcile destroys the escrow, restoring conservation:
+	// 400 (donor) - 100 (spent) = 300.
+	remaining, err := sites[1].acc.Reconcile(context.Background())
+	if err != nil || remaining != 0 {
+		t.Fatalf("Reconcile = %d, %v", remaining, err)
+	}
+	if got := sites[0].avt.Escrowed("k"); got != 0 {
+		t.Fatalf("donor escrow after settle = %d", got)
+	}
+	if sum := sites[0].avt.Total("k") + sites[1].avt.Total("k"); sum != 300 {
+		t.Fatalf("AV sum = %d, want 300", sum)
+	}
+	if len(sites[1].acc.Obligations()) != 0 {
+		t.Fatal("obligation not discharged")
+	}
+	if sites[1].acc.Stats().Settles.Load() != 1 {
+		t.Fatal("Settles not counted")
+	}
+}
+
+// replyDropper drops AV replies while enabled, so the requester times
+// out after the granter has already escrowed the grant.
+type replyDropper struct{}
+
+var dropReplies bool
+var dropMu sync.Mutex
+
+func (d *replyDropper) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	dropMu.Lock()
+	defer dropMu.Unlock()
+	return transport.Fault{Drop: dropReplies && isReply && kind == wire.KindAVReply}
+}
+
+func TestEscrowCancelRefundsLostGrant(t *testing.T) {
+	dropMu.Lock()
+	dropReplies = true
+	dropMu.Unlock()
+	sites := buildSitesNet(t, 2, 1000, 0, strategy.SODA99(),
+		memnet.Options{CallTimeout: 100 * time.Millisecond, Interceptor: &replyDropper{}})
+	sites[0].avt.Credit("k", 400)
+	sites[1].acc.cfg.Escrow = true
+	sites[1].acc.cfg.RequestTimeout = 50 * time.Millisecond
+
+	// The donor escrows the grant, but the reply never arrives: the
+	// update fails and the requester records cancel obligations.
+	if _, err := sites[1].acc.Update(context.Background(), "k", -100); !errors.Is(err, ErrInsufficientAV) {
+		t.Fatalf("err = %v, want insufficient", err)
+	}
+	if got := sites[0].avt.Escrowed("k"); got == 0 {
+		t.Fatal("donor never escrowed — reply drop did not exercise the lost-grant path")
+	}
+	obls := sites[1].acc.Obligations()
+	if len(obls) == 0 || !obls[0].Cancel {
+		t.Fatalf("obligations = %+v, want cancels", obls)
+	}
+
+	// Heal the network; Reconcile cancels every stranded transfer and the
+	// donor refunds in full. Nothing was lost or minted.
+	dropMu.Lock()
+	dropReplies = false
+	dropMu.Unlock()
+	remaining, err := sites[1].acc.Reconcile(context.Background())
+	if err != nil || remaining != 0 {
+		t.Fatalf("Reconcile = %d, %v", remaining, err)
+	}
+	if got := sites[0].avt.Escrowed("k"); got != 0 {
+		t.Fatalf("donor escrow after cancel = %d", got)
+	}
+	if got := sites[0].avt.Avail("k"); got != 400 {
+		t.Fatalf("donor avail after refund = %d, want 400", got)
+	}
+	if sites[1].acc.Stats().Cancels.Load() == 0 {
+		t.Fatal("Cancels not counted")
+	}
+}
+
+func TestFailoverSkipsSuspectPeer(t *testing.T) {
+	sites := buildSites(t, 3, 1000, 0, strategy.Policy{Selector: strategy.MaxKnown{}, Decider: strategy.GrantAll{}})
+	sites[0].avt.Credit("k", 1000)
+	sites[2].avt.Credit("k", 300)
+	// Site 1 believes site 0 is the best holder...
+	sites[1].acc.View().Observe(0, "k", 1000)
+	sites[1].acc.View().Observe(2, "k", 300)
+	// ...but the failure detector suspects it.
+	det := failure.NewDetector(0, nil)
+	for i := 0; i < failure.FailureThreshold; i++ {
+		det.ReportFailure(0)
+	}
+	if !det.Suspect(0) {
+		t.Fatal("detector should suspect site 0")
+	}
+	sites[1].acc.cfg.Detector = det
+
+	res, err := sites[1].acc.Update(context.Background(), "k", -100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path != PathDelayTransfer {
+		t.Fatalf("path = %v", res.Path)
+	}
+	// The healthy next-best holder supplied the transfer; the suspect was
+	// never touched.
+	if got := sites[0].avt.Avail("k"); got != 1000 {
+		t.Fatalf("suspect peer was debited: avail = %d", got)
+	}
+	if got := sites[2].avt.Avail("k"); got != 0 {
+		t.Fatalf("healthy peer not used: avail = %d", got)
+	}
+	if sites[1].acc.Stats().Failovers.Load() == 0 {
+		t.Fatal("Failovers not counted")
+	}
+}
+
+func TestSuspectPeerStillUsedAsLastResort(t *testing.T) {
+	// Failover demotes suspects, it does not blacklist them: when no
+	// healthy peer can cover the need, the suspect is still asked.
+	sites := buildSites(t, 2, 1000, 0, strategy.Policy{Selector: strategy.MaxKnown{}, Decider: strategy.GrantAll{}})
+	sites[0].avt.Credit("k", 500)
+	sites[1].acc.View().Observe(0, "k", 500)
+	det := failure.NewDetector(0, nil)
+	for i := 0; i < failure.FailureThreshold; i++ {
+		det.ReportFailure(0)
+	}
+	sites[1].acc.cfg.Detector = det
+
+	if _, err := sites[1].acc.Update(context.Background(), "k", -200); err != nil {
+		t.Fatal(err)
+	}
+	// Success reports healed the suspicion.
+	if det.Suspect(0) {
+		t.Fatal("successful call should clear suspicion")
 	}
 }

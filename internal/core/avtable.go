@@ -1,5 +1,7 @@
 package core
 
+import "avdb/internal/av"
+
 // AVTable is the accelerator's view of an Allowable Volume table. The
 // canonical implementation is av.Table (volatile); avstore.Store wraps
 // it with a journal so a site's AV survives restarts without breaking
@@ -30,6 +32,26 @@ type AVTable interface {
 	// Debit removes up to n available units for an outbound transfer and
 	// returns how many were taken.
 	Debit(key string, n int64) (int64, error)
+	// EscrowDebit removes up to n available units for the outbound
+	// transfer identified by xfer, parking them in escrow until the
+	// transfer settles (units destroyed here, credited remotely) or
+	// cancels (units refunded to available). Duplicate calls for a known
+	// xfer return the originally escrowed amount; calls for an already
+	// resolved xfer return 0.
+	EscrowDebit(key string, xfer uint64, n int64) (int64, error)
+	// ResolveEscrow finishes the transfer: refund=true returns the units
+	// to available (cancel), refund=false destroys them (settle). It
+	// returns the escrowed amount, or 0 for an unknown xfer.
+	ResolveEscrow(xfer uint64, refund bool) (int64, error)
+	// Escrowed returns the volume currently parked in escrow for key.
+	Escrowed(key string) int64
+	// AddObligation records a requester-side promise to settle or cancel
+	// an inbound escrowed transfer; CompleteObligation discharges it;
+	// Obligations lists the outstanding ones. Recorded *before* their
+	// effects so a restarted site re-drives unfinished transfers.
+	AddObligation(ob av.Obligation) error
+	CompleteObligation(xfer uint64) error
+	Obligations() []av.Obligation
 	// Keys lists defined keys; Snapshot maps key -> available volume.
 	Keys() []string
 	Snapshot() map[string]int64

@@ -1,0 +1,247 @@
+// Package failure supplies the two ingredients every robust protocol
+// layer in avdb shares: a retry policy (exponential backoff with
+// jitter, bounded attempts, context deadlines) and a per-peer failure
+// detector (recent-success heartbeat accounting with a suspicion
+// window).
+//
+// The paper assumes the Delay-Update path keeps working when
+// communication is expensive or unavailable; this package is where
+// "unavailable" becomes a first-class input rather than an unhandled
+// error. The accelerator consults the Detector to skip suspect peers
+// in its selecting step, the 2PC coordinator retries decision delivery
+// through a Retrier, and replica flush backs off dead peers instead of
+// hammering them.
+package failure
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"avdb/internal/clock"
+	"avdb/internal/metrics"
+	"avdb/internal/rng"
+	"avdb/internal/wire"
+)
+
+// Policy describes a bounded exponential backoff.
+type Policy struct {
+	// MaxAttempts caps the number of calls to fn (>= 1). 0 means 1.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay. 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts. Values < 1 mean 2.
+	Multiplier float64
+	// Jitter is the fraction of each delay randomized away (0..1): the
+	// actual wait is uniform in [delay*(1-Jitter), delay]. Jitter keeps
+	// retries from synchronizing across sites after a shared outage.
+	Jitter float64
+}
+
+// Backoff returns the wait before attempt n (n = 1 is the wait after
+// the first failure), before jitter.
+func (p Policy) Backoff(n int) time.Duration {
+	if n < 1 || p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// Retrier runs operations under a Policy. It is safe for concurrent
+// use; each Do draws jitter from its own child generator.
+type Retrier struct {
+	policy Policy
+	clock  clock.Clock
+
+	mu  sync.Mutex
+	rnd *rng.Rand
+
+	// Retries counts backoff waits taken (attempts beyond the first).
+	Retries metrics.Counter
+}
+
+// NewRetrier builds a Retrier. clk may be nil (wall clock); seed makes
+// jitter deterministic for tests.
+func NewRetrier(p Policy, clk clock.Clock, seed uint64) *Retrier {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	return &Retrier{policy: p, clock: clk, rnd: rng.New(seed)}
+}
+
+// Policy returns the retrier's policy.
+func (r *Retrier) Policy() Policy { return r.policy }
+
+// Do calls fn until it succeeds, the policy's attempts are exhausted
+// (returning fn's last error), or ctx is done (returning ctx.Err()).
+// Between attempts it sleeps the policy's jittered backoff on the
+// retrier's clock, aborting the sleep when ctx expires.
+func (r *Retrier) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	attempts := r.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for n := 1; ; n++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = fn(ctx)
+		if lastErr == nil {
+			return nil
+		}
+		if n >= attempts {
+			return lastErr
+		}
+		wait := r.jittered(r.policy.Backoff(n))
+		if wait > 0 {
+			r.Retries.Inc()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-r.clock.After(wait):
+			}
+		} else {
+			r.Retries.Inc()
+		}
+	}
+}
+
+// jittered shrinks d by a uniform fraction of Policy.Jitter.
+func (r *Retrier) jittered(d time.Duration) time.Duration {
+	if d <= 0 || r.policy.Jitter <= 0 {
+		return d
+	}
+	j := r.policy.Jitter
+	if j > 1 {
+		j = 1
+	}
+	r.mu.Lock()
+	f := r.rnd.Float64()
+	r.mu.Unlock()
+	return d - time.Duration(float64(d)*j*f)
+}
+
+// Detector tracks per-peer liveness. A peer becomes suspect when a
+// losing streak of failures has lasted at least the suspicion window,
+// or has reached FailureThreshold consecutive failures — silence alone
+// (an idle link) never condemns a peer. Heartbeats (site.heartbeatLoop)
+// guarantee regular contact attempts, so a dead peer accumulates
+// failures and crosses either trigger quickly.
+type Detector struct {
+	suspectAfter time.Duration
+	clock        clock.Clock
+
+	mu    sync.Mutex
+	peers map[wire.SiteID]*peerState
+
+	// Suspicions counts peer transitions into the suspect state.
+	Suspicions metrics.Counter
+}
+
+type peerState struct {
+	streakStart time.Time // first failure of the current losing streak
+	failures    int       // consecutive failures since last success
+	suspect     bool
+}
+
+// DefaultSuspectAfter is the suspicion window used when none is given.
+const DefaultSuspectAfter = 3 * time.Second
+
+// FailureThreshold is the consecutive-failure count that suspects a
+// peer regardless of how little wall time the streak spanned.
+const FailureThreshold = 3
+
+// NewDetector builds a detector. clk may be nil (wall clock);
+// suspectAfter <= 0 selects DefaultSuspectAfter.
+func NewDetector(suspectAfter time.Duration, clk clock.Clock) *Detector {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if suspectAfter <= 0 {
+		suspectAfter = DefaultSuspectAfter
+	}
+	return &Detector{
+		suspectAfter: suspectAfter,
+		clock:        clk,
+		peers:        make(map[wire.SiteID]*peerState),
+	}
+}
+
+// ReportSuccess records a successful exchange with peer, clearing any
+// suspicion.
+func (d *Detector) ReportSuccess(peer wire.SiteID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peer(peer)
+	p.streakStart = time.Time{}
+	p.failures = 0
+	p.suspect = false
+}
+
+// ReportFailure records a failed exchange with peer (timeout,
+// unreachable).
+func (d *Detector) ReportFailure(peer wire.SiteID) {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peer(peer)
+	if p.failures == 0 {
+		p.streakStart = now
+	}
+	p.failures++
+	if p.suspect {
+		return
+	}
+	if p.failures >= FailureThreshold || now.Sub(p.streakStart) >= d.suspectAfter {
+		p.suspect = true
+		d.Suspicions.Inc()
+	}
+}
+
+// peer returns (creating) the state for id. Caller holds d.mu.
+func (d *Detector) peer(id wire.SiteID) *peerState {
+	p := d.peers[id]
+	if p == nil {
+		p = &peerState{}
+		d.peers[id] = p
+	}
+	return p
+}
+
+// Suspect reports whether peer is currently suspected down.
+func (d *Detector) Suspect(peer wire.SiteID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p := d.peers[peer]
+	return p != nil && p.suspect
+}
+
+// Suspects returns the currently suspected peers (unordered).
+func (d *Detector) Suspects() []wire.SiteID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []wire.SiteID
+	for id, p := range d.peers {
+		if p.suspect {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package failure
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"avdb/internal/clock"
+)
+
+func TestPolicyBackoffGrowth(t *testing.T) {
+	p := Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v want %v", i+1, got, w)
+		}
+	}
+	if got := p.Backoff(0); got != 0 {
+		t.Errorf("Backoff(0) = %v want 0", got)
+	}
+}
+
+func TestRetrierSucceedsAfterFailures(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	r := NewRetrier(Policy{MaxAttempts: 5, BaseDelay: time.Second}, vc, 1)
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(context.Background(), func(context.Context) error {
+			calls++
+			if calls < 3 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+	}()
+	for i := 0; i < 2; i++ {
+		waitPending(t, vc)
+		// Backoff doubles: 1s then 2s.
+		vc.Advance(time.Duration(1<<i) * time.Second)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d want 3", calls)
+	}
+	if r.Retries.Value() != 2 {
+		t.Fatalf("Retries = %d want 2", r.Retries.Value())
+	}
+}
+
+func TestRetrierExhaustsAttempts(t *testing.T) {
+	r := NewRetrier(Policy{MaxAttempts: 3}, clock.NewVirtual(time.Unix(0, 0)), 1)
+	boom := errors.New("boom")
+	calls := 0
+	err := r.Do(context.Background(), func(context.Context) error { calls++; return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Do = %v want %v", err, boom)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d want 3", calls)
+	}
+}
+
+func TestRetrierHonorsContext(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	r := NewRetrier(Policy{MaxAttempts: 10, BaseDelay: time.Minute}, vc, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- r.Do(ctx, func(context.Context) error { return errors.New("boom") })
+	}()
+	waitPending(t, vc) // sleeping its first backoff
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v want context.Canceled", err)
+	}
+}
+
+func TestRetrierJitterShrinksDelay(t *testing.T) {
+	p := Policy{MaxAttempts: 2, BaseDelay: time.Second, Jitter: 0.5}
+	r := NewRetrier(p, clock.Real{}, 42)
+	for i := 0; i < 100; i++ {
+		d := r.jittered(time.Second)
+		if d < 500*time.Millisecond || d > time.Second {
+			t.Fatalf("jittered delay %v outside [500ms, 1s]", d)
+		}
+	}
+}
+
+// waitPending spins until the virtual clock has a sleeper registered.
+func waitPending(t *testing.T, vc *clock.Virtual) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for vc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no timer registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDetectorThresholdSuspicion(t *testing.T) {
+	d := NewDetector(time.Hour, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < FailureThreshold-1; i++ {
+		d.ReportFailure(2)
+		if d.Suspect(2) {
+			t.Fatalf("suspect after %d failures", i+1)
+		}
+	}
+	d.ReportFailure(2)
+	if !d.Suspect(2) {
+		t.Fatal("not suspect after threshold failures")
+	}
+	if d.Suspicions.Value() != 1 {
+		t.Fatalf("Suspicions = %d want 1", d.Suspicions.Value())
+	}
+	// More failures don't re-count the transition.
+	d.ReportFailure(2)
+	if d.Suspicions.Value() != 1 {
+		t.Fatalf("Suspicions = %d want 1", d.Suspicions.Value())
+	}
+}
+
+func TestDetectorWindowSuspicion(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	d := NewDetector(10*time.Second, vc)
+	d.ReportFailure(3)
+	if d.Suspect(3) {
+		t.Fatal("suspect on first failure")
+	}
+	vc.Advance(11 * time.Second)
+	d.ReportFailure(3)
+	if !d.Suspect(3) {
+		t.Fatal("not suspect after streak outlasted the window")
+	}
+}
+
+func TestDetectorSuccessClearsSuspicion(t *testing.T) {
+	d := NewDetector(time.Hour, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < FailureThreshold; i++ {
+		d.ReportFailure(2)
+	}
+	if !d.Suspect(2) {
+		t.Fatal("not suspect")
+	}
+	d.ReportSuccess(2)
+	if d.Suspect(2) {
+		t.Fatal("still suspect after success")
+	}
+	// Streak restarts from scratch.
+	d.ReportFailure(2)
+	if d.Suspect(2) {
+		t.Fatal("suspect after a single post-recovery failure")
+	}
+}
+
+func TestDetectorSuspects(t *testing.T) {
+	d := NewDetector(time.Hour, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < FailureThreshold; i++ {
+		d.ReportFailure(5)
+	}
+	d.ReportSuccess(6)
+	got := d.Suspects()
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Suspects = %v want [5]", got)
+	}
+}
+
+func TestDetectorIdlePeerNeverSuspect(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	d := NewDetector(time.Second, vc)
+	d.ReportSuccess(4)
+	vc.Advance(time.Hour)
+	if d.Suspect(4) {
+		t.Fatal("idle peer became suspect without failures")
+	}
+}

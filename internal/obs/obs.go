@@ -43,15 +43,21 @@ type Server struct {
 	opts Options
 	mux  *http.ServeMux
 
-	mu    sync.Mutex
-	hists []namedHist
-	ln    net.Listener
-	srv   *http.Server
+	mu       sync.Mutex
+	hists    []namedHist
+	counters []namedCounter
+	ln       net.Listener
+	srv      *http.Server
 }
 
 type namedHist struct {
 	name string
 	h    *metrics.Histogram
+}
+
+type namedCounter struct {
+	name string
+	read func() int64
 }
 
 // New builds a server over the given components.
@@ -79,6 +85,22 @@ func (s *Server) RegisterHistogram(name string, h *metrics.Histogram) {
 		}
 	}
 	s.hists = append(s.hists, namedHist{name, h})
+}
+
+// RegisterCounter exposes a named counter on /metrics, sampled at
+// scrape time. read is typically a method value — (*metrics.Counter).
+// Value, (*atomic.Int64).Load — so the counter stays live. Registering
+// a name again replaces its reader. Safe to call while the server runs.
+func (s *Server) RegisterCounter(name string, read func() int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.counters {
+		if s.counters[i].name == name {
+			s.counters[i].read = read
+			return
+		}
+	}
+	s.counters = append(s.counters, namedCounter{name, read})
 }
 
 // Handler returns the admin mux for embedding into another server.
@@ -153,7 +175,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	hists := append([]namedHist(nil), s.hists...)
+	counters := append([]namedCounter(nil), s.counters...)
 	s.mu.Unlock()
+	if len(counters) > 0 {
+		fmt.Fprintln(w, "\n# counters")
+		for _, nc := range counters {
+			fmt.Fprintf(w, "%s %d\n", nc.name, nc.read())
+		}
+	}
 	for _, nh := range hists {
 		snap := nh.h.Snapshot()
 		fmt.Fprintf(w, "\n# histogram %s\n%s_count %d\n", nh.name, nh.name, snap.Count)

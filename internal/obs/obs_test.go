@@ -160,3 +160,32 @@ func TestTraceEndpointsWithoutTracer(t *testing.T) {
 		t.Errorf("recent status = %d, want 404", code)
 	}
 }
+
+func TestMetricsRendersRegisteredCounters(t *testing.T) {
+	s := startServer(t, Options{})
+	var aborts metrics.Counter
+	aborts.Add(5)
+	s.RegisterCounter("twopc_aborts", aborts.Value)
+	live := int64(0)
+	s.RegisterCounter("suspected_peers", func() int64 { return live })
+
+	_, body := get(t, s, "/metrics")
+	for _, want := range []string{"# counters", "twopc_aborts 5", "suspected_peers 0"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+	// Counters are sampled at scrape time, and re-registration replaces.
+	aborts.Inc()
+	live = 3
+	_, body = get(t, s, "/metrics")
+	for _, want := range []string{"twopc_aborts 6", "suspected_peers 3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics body missing %q:\n%s", want, body)
+		}
+	}
+	s.RegisterCounter("suspected_peers", func() int64 { return 9 })
+	if _, body = get(t, s, "/metrics"); !strings.Contains(body, "suspected_peers 9") {
+		t.Errorf("re-registered counter not replaced:\n%s", body)
+	}
+}

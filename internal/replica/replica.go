@@ -20,7 +20,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"avdb/internal/clock"
+	"avdb/internal/failure"
 	"avdb/internal/storage"
 	"avdb/internal/transport"
 	"avdb/internal/txn"
@@ -67,6 +70,20 @@ type Replicator struct {
 	firstSeq uint64                 // seq of log[0]; log is a contiguous suffix
 	applied  map[wire.SiteID]uint64 // remote origin -> highest seq applied here
 	acked    map[wire.SiteID]uint64 // peer -> highest of OUR seqs it acked
+
+	// Per-peer flush control (see SetFlushPolicy). Guarded by fmu, not
+	// mu: Flush consults it while the log lock is free.
+	fmu          sync.Mutex
+	flushTimeout time.Duration
+	flushPolicy  failure.Policy
+	flushClock   clock.Clock
+	flushFail    map[wire.SiteID]*flushBackoff
+}
+
+// flushBackoff tracks one unreachable peer on the flush path.
+type flushBackoff struct {
+	failures int
+	until    time.Time
 }
 
 // New creates a volatile replicator for the site origin writing into
@@ -198,6 +215,58 @@ func (r *Replicator) CommitWithRecord(tx *txn.Txn, key string, delta int64) (uin
 	}
 	r.log = append(r.log, wire.Delta{Seq: seq, Key: key, Amount: delta})
 	return seq, nil
+}
+
+// SetFlushPolicy bounds each peer's exchange during Flush with its own
+// deadline and backs off peers that keep failing: a peer inside its
+// backoff window is skipped entirely (its backlog is kept), so one dead
+// site cannot slow every flush round to its timeout. A zero timeout
+// disables the per-peer deadline; a zero policy disables backoff. clk
+// may be nil (wall clock); tests inject a virtual one.
+func (r *Replicator) SetFlushPolicy(timeout time.Duration, policy failure.Policy, clk clock.Clock) {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	r.flushTimeout = timeout
+	r.flushPolicy = policy
+	r.flushClock = clk
+	r.flushFail = make(map[wire.SiteID]*flushBackoff)
+}
+
+// flushSkip reports whether peer is inside its failure backoff window.
+func (r *Replicator) flushSkip(peer wire.SiteID) bool {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if r.flushFail == nil {
+		return false
+	}
+	fb := r.flushFail[peer]
+	return fb != nil && r.flushClock.Now().Before(fb.until)
+}
+
+// flushOutcome records a peer's flush result for the backoff window.
+func (r *Replicator) flushOutcome(peer wire.SiteID, ok bool) {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if r.flushFail == nil {
+		return
+	}
+	if ok {
+		delete(r.flushFail, peer)
+		return
+	}
+	if r.flushPolicy.BaseDelay <= 0 {
+		return
+	}
+	fb := r.flushFail[peer]
+	if fb == nil {
+		fb = &flushBackoff{}
+		r.flushFail[peer] = fb
+	}
+	fb.failures++
+	fb.until = r.flushClock.Now().Add(r.flushPolicy.Backoff(fb.failures))
 }
 
 // PendingFor returns the deltas peer has not acknowledged yet.
@@ -351,6 +420,9 @@ func (r *Replicator) Flush(ctx context.Context, node transport.Node, peers []wir
 	}
 	var jobs []job
 	for _, peer := range peers {
+		if r.flushSkip(peer) {
+			continue // failing peer inside its backoff window
+		}
 		if msg := r.PendingSyncFor(peer); msg != nil {
 			jobs = append(jobs, job{peer, msg})
 		}
@@ -364,13 +436,27 @@ func (r *Replicator) Flush(ctx context.Context, node transport.Node, peers []wir
 		wg.Add(1)
 		go func(i int, j job) {
 			defer wg.Done()
-			reply, err := node.Call(ctx, j.peer, j.msg)
+			cctx := ctx
+			r.fmu.Lock()
+			timeout := r.flushTimeout
+			r.fmu.Unlock()
+			if timeout > 0 {
+				// Per-peer deadline: one slow peer bounds only its own
+				// exchange, never the whole fan-out.
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			reply, err := node.Call(cctx, j.peer, j.msg)
 			if err != nil {
-				// Partition or crash: keep the backlog, try again later. This
-				// is the fault tolerance claim: Delay Updates committed during
-				// the partition flow out once it heals.
+				// Partition or crash: keep the backlog, back the peer off,
+				// try again later. This is the fault tolerance claim: Delay
+				// Updates committed during the partition flow out once it
+				// heals.
+				r.flushOutcome(j.peer, false)
 				return
 			}
+			r.flushOutcome(j.peer, true)
 			ack, ok := reply.(*wire.DeltaAck)
 			if !ok {
 				errs[i] = fmt.Errorf("replica: unexpected reply %T from site %d", reply, j.peer)

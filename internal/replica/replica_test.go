@@ -6,6 +6,8 @@ import (
 	"testing/quick"
 	"time"
 
+	"avdb/internal/clock"
+	"avdb/internal/failure"
 	"avdb/internal/rng"
 	"avdb/internal/storage"
 	"avdb/internal/transport"
@@ -346,5 +348,77 @@ func TestPullSkipsUnreachable(t *testing.T) {
 	// Peer 9 does not exist: Pull must not error.
 	if err := replB.Pull(context.Background(), nodeB, []wire.SiteID{9}); err != nil {
 		t.Fatalf("pull from missing peer: %v", err)
+	}
+}
+
+func TestFlushBacksOffFailingPeer(t *testing.T) {
+	net := memnet.New(memnet.Options{CallTimeout: 100 * time.Millisecond})
+	engA := newEng(t, 100)
+	engB := newEng(t, 100)
+	replA := New(1, engA)
+	replB := New(2, engB)
+	nodeA, _ := net.Open(1, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil })
+	net.Open(2, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		ack, _ := replB.HandleSync(msg.(*wire.DeltaSync))
+		return ack
+	})
+	vc := clock.NewVirtual(time.Unix(100, 0))
+	replA.SetFlushPolicy(50*time.Millisecond, failure.Policy{BaseDelay: time.Second, MaxDelay: 8 * time.Second}, vc)
+
+	engA.ApplyDelta("k", -10)
+	replA.Record("k", -10)
+	net.Block(1, 2)
+	// First flush fails and opens the backoff window.
+	if err := replA.Flush(context.Background(), nodeA, []wire.SiteID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if replA.Lag(2) != 1 {
+		t.Fatal("backlog lost")
+	}
+	// Within the window the peer is skipped even though the partition has
+	// healed — no call is made (the backlog stays).
+	net.Unblock(1, 2)
+	if err := replA.Flush(context.Background(), nodeA, []wire.SiteID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if replA.Lag(2) != 1 {
+		t.Fatal("flush inside backoff window contacted the peer")
+	}
+	// After the window the peer is retried and catches up.
+	vc.Advance(2 * time.Second)
+	if err := replA.Flush(context.Background(), nodeA, []wire.SiteID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if replA.Lag(2) != 0 {
+		t.Fatalf("lag after backoff expiry = %d", replA.Lag(2))
+	}
+	if n, _ := engB.Amount("k"); n != 90 {
+		t.Fatalf("B amount = %d, want 90", n)
+	}
+}
+
+func TestFlushPerPeerDeadline(t *testing.T) {
+	// A slow peer bounds only its own exchange: the flush returns within
+	// the per-peer timeout, not the transport's (much longer) one.
+	net := memnet.New(memnet.Options{CallTimeout: 5 * time.Second})
+	engA := newEng(t, 100)
+	replA := New(1, engA)
+	nodeA, _ := net.Open(1, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message { return nil })
+	net.Open(2, func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		<-ctx.Done() // never answers
+		return nil
+	})
+	replA.SetFlushPolicy(80*time.Millisecond, failure.Policy{}, nil)
+	engA.ApplyDelta("k", -10)
+	replA.Record("k", -10)
+	start := time.Now()
+	if err := replA.Flush(context.Background(), nodeA, []wire.SiteID{2}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("flush took %v, want ~80ms per-peer deadline", d)
+	}
+	if replA.Lag(2) != 1 {
+		t.Fatal("backlog lost on timeout")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"avdb/internal/clock"
 	"avdb/internal/core"
 	"avdb/internal/eventlog"
+	"avdb/internal/failure"
 	"avdb/internal/lockmgr"
 	"avdb/internal/replica"
 	"avdb/internal/storage"
@@ -76,6 +77,24 @@ type Config struct {
 	// SweepInterval, when > 0, starts a background loop that aborts
 	// expired prepared 2PC transactions.
 	SweepInterval time.Duration
+	// HeartbeatInterval, when > 0, starts a background loop that pings
+	// every peer and feeds the failure detector, and re-drives any
+	// outstanding escrow obligations (crash recovery settles lazily).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a peer may fail consecutively before the
+	// detector suspects it even below the failure-count threshold
+	// (default failure.DefaultSuspectAfter).
+	SuspectAfter time.Duration
+	// FlushPeerTimeout bounds each peer's exchange within one replication
+	// flush so a single dead peer cannot stall the fan-out.
+	FlushPeerTimeout time.Duration
+	// FlushBackoff, when BaseDelay > 0, skips peers whose flushes keep
+	// failing for an exponentially growing window (backlog is retained).
+	FlushBackoff failure.Policy
+	// EscrowTransfers makes remote AV grants escrowed two-phase transfers
+	// that a crash can only shrink, never mint. Off by default; the
+	// healthy-path experiments are byte-identical without it.
+	EscrowTransfers bool
 }
 
 // Site is one running node.
@@ -89,6 +108,7 @@ type Site struct {
 	repl  *replica.Replicator
 	accel *core.Accelerator
 	node  transport.Node
+	det   *failure.Detector
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -149,6 +169,10 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 	} else {
 		s.repl = replica.New(cfg.ID, eng)
 	}
+	if cfg.FlushPeerTimeout > 0 || cfg.FlushBackoff.BaseDelay > 0 {
+		s.repl.SetFlushPolicy(cfg.FlushPeerTimeout, cfg.FlushBackoff, cfg.Clock)
+	}
+	s.det = failure.NewDetector(cfg.SuspectAfter, cfg.Clock)
 	s.accel = core.New(core.Config{
 		Site:           cfg.ID,
 		Base:           cfg.Base,
@@ -160,6 +184,8 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Demand:         cfg.Demand,
 		DisableGossip:  cfg.DisableGossip,
 		Tracer:         cfg.Tracer,
+		Detector:       s.det,
+		Escrow:         cfg.EscrowTransfers,
 	}, s.avt, s.tm, s.iu, s.repl)
 
 	node, err := network.Open(cfg.ID, s.handle)
@@ -182,7 +208,25 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		s.wg.Add(1)
 		go s.sweepLoop()
 	}
+	if cfg.HeartbeatInterval > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return s, nil
+}
+
+// Reopen restarts a durable site from its on-disk state (WAL + AV
+// journal) after a crash or clean shutdown. It is Open with the
+// durability requirement made explicit: the storage engine replays its
+// WAL, the AV store re-establishes balances, pending escrows and
+// unsettled obligations, and the replicator resumes from its durable
+// cursor. Outstanding escrow obligations are then re-driven lazily by
+// the heartbeat loop (or an explicit Reconcile call).
+func Reopen(cfg Config, network transport.Network) (*Site, error) {
+	if cfg.StorageDir == "" {
+		return nil, fmt.Errorf("site: Reopen requires StorageDir (nothing to recover from)")
+	}
+	return Open(cfg, network)
 }
 
 // event records an observability event when a log is configured.
@@ -210,6 +254,14 @@ func (s *Site) handle(ctx context.Context, from wire.SiteID, msg wire.Message) w
 	switch m := msg.(type) {
 	case *wire.AVRequest:
 		return s.accel.HandleAVRequest(ctx, from, m)
+	case *wire.AVSettle:
+		ack, err := s.accel.HandleSettle(ctx, from, m)
+		if err != nil {
+			return nil
+		}
+		return ack
+	case *wire.Ping:
+		return &wire.Pong{}
 	case *wire.IUPrepare:
 		return s.iu.HandlePrepare(ctx, from, m)
 	case *wire.IUDecision:
@@ -252,6 +304,53 @@ func (s *Site) flushLoop() {
 		}
 	}
 }
+
+// heartbeatLoop probes every peer each interval, feeding the failure
+// detector so AV gathering fails over away from dead peers, and
+// re-drives outstanding escrow obligations left by failed transfers or
+// a restart.
+func (s *Site) heartbeatLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.cfg.Clock.After(s.cfg.HeartbeatInterval):
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+			s.Heartbeat(ctx)
+			cancel()
+		}
+	}
+}
+
+// Heartbeat performs one round of what heartbeatLoop does periodically:
+// ping every peer (reporting each outcome to the failure detector) and,
+// when escrow obligations are outstanding, try to settle them. Exposed
+// so deterministic tests and clusters can step liveness explicitly.
+func (s *Site) Heartbeat(ctx context.Context) {
+	for _, p := range s.cfg.Peers {
+		if _, err := s.node.Call(ctx, p, &wire.Ping{}); err != nil {
+			s.det.ReportFailure(p)
+		} else {
+			s.det.ReportSuccess(p)
+		}
+	}
+	if len(s.accel.Obligations()) > 0 {
+		if _, err := s.accel.Reconcile(ctx); err != nil {
+			s.event("reconcile.failed", "", "err=%v", err)
+		}
+	}
+}
+
+// Reconcile re-drives this site's outstanding escrow obligations
+// (settle credits it holds, cancel grants that never arrived) and
+// returns how many remain unresolved.
+func (s *Site) Reconcile(ctx context.Context) (int, error) {
+	return s.accel.Reconcile(ctx)
+}
+
+// Detector returns the site's failure detector.
+func (s *Site) Detector() *failure.Detector { return s.det }
 
 // sweepLoop aborts expired prepared transactions periodically.
 func (s *Site) sweepLoop() {

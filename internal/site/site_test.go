@@ -536,3 +536,109 @@ func TestVirtualClockDrivesFlushLoop(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func TestHeartbeatSuspectsDeadPeer(t *testing.T) {
+	net := memnet.New(memnet.Options{CallTimeout: 50 * time.Millisecond})
+	sites := openSites(t, net, 2, Config{})
+
+	net.Block(0, 1)
+	for i := 0; i < 3; i++ { // failure.FailureThreshold consecutive misses
+		sites[0].Heartbeat(bg())
+	}
+	if !sites[0].Detector().Suspect(1) {
+		t.Fatal("detector did not suspect unreachable peer after 3 missed heartbeats")
+	}
+	net.Unblock(0, 1)
+	sites[0].Heartbeat(bg())
+	if sites[0].Detector().Suspect(1) {
+		t.Fatal("one successful heartbeat did not clear suspicion")
+	}
+}
+
+func TestReopenReconcilesEscrowObligations(t *testing.T) {
+	// An escrowed AV transfer leaves a durable settle obligation at the
+	// requester and a durable escrow at the granter. Both sites restart
+	// before settling; Reconcile after Reopen must resolve the transfer
+	// and conserve the global allowable volume.
+	dirA, dirB := t.TempDir(), t.TempDir()
+	mk := func(id, peer wire.SiteID, dir string) Config {
+		return Config{
+			ID: id, Base: 0, Peers: []wire.SiteID{peer},
+			StorageDir: dir, PersistAV: true, NoSync: true,
+			EscrowTransfers: true,
+		}
+	}
+	net1 := memnet.New(memnet.Options{})
+	a, err := Open(mk(0, 1, dirA), net1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(mk(1, 0, dirB), net1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Site{a, b} {
+		if err := s.Seed(storage.Record{Key: "k", Amount: 500, Class: storage.Regular}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.DefineAV("k", 400)
+	b.DefineAV("k", 0)
+
+	if _, err := b.Update(bg(), "k", -100); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Accelerator().Obligations()); got != 1 {
+		t.Fatalf("requester obligations = %d, want 1 (settle pending)", got)
+	}
+	esc := a.AV().Escrowed("k")
+	if esc <= 0 {
+		t.Fatalf("granter escrow = %d, want > 0", esc)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	net2 := memnet.New(memnet.Options{})
+	a2, err := Reopen(mk(0, 1, dirA), net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a2.Close() })
+	b2, err := Reopen(mk(1, 0, dirB), net2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+
+	if got := a2.AV().Escrowed("k"); got != esc {
+		t.Fatalf("escrow after restart = %d, want %d", got, esc)
+	}
+	if got := len(b2.Accelerator().Obligations()); got != 1 {
+		t.Fatalf("obligations after restart = %d, want 1", got)
+	}
+	remaining, err := b2.Reconcile(bg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remaining != 0 {
+		t.Fatalf("reconcile left %d obligations", remaining)
+	}
+	if got := a2.AV().Escrowed("k"); got != 0 {
+		t.Fatalf("escrow after reconcile = %d", got)
+	}
+	// The update itself consumed 100 of the initial 400; settling the
+	// escrow must neither mint nor lose anything beyond that.
+	if sum := a2.AV().Total("k") + b2.AV().Total("k"); sum != 300 {
+		t.Fatalf("global AV = %d, want 300 (escrow settle minted or lost volume)", sum)
+	}
+}
+
+func TestReopenRequiresStorageDir(t *testing.T) {
+	if _, err := Reopen(Config{ID: 0}, memnet.New(memnet.Options{})); err == nil {
+		t.Fatal("Reopen without StorageDir succeeded")
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDeduperFirstDeliveryRuns(t *testing.T) {
+	d := NewDeduper(4)
+	run, replay := d.Begin(1, 10)
+	if !run || replay != nil {
+		t.Fatalf("first delivery: run=%v replay=%v", run, replay)
+	}
+}
+
+func TestDeduperDuplicateReplaysReply(t *testing.T) {
+	d := NewDeduper(4)
+	d.Begin(1, 10)
+
+	// Duplicate while the handler is still running: discard.
+	if run, replay := d.Begin(1, 10); run || replay != nil {
+		t.Fatalf("in-flight duplicate: run=%v replay=%v", run, replay)
+	}
+
+	d.Finish(1, 10, []byte("reply-bytes"))
+	run, replay := d.Begin(1, 10)
+	if run {
+		t.Fatal("completed duplicate ran the handler")
+	}
+	if string(replay) != "reply-bytes" {
+		t.Fatalf("replay = %q", replay)
+	}
+}
+
+func TestDeduperNoReplyDuplicateIsDropped(t *testing.T) {
+	d := NewDeduper(4)
+	d.Begin(2, 7)
+	d.Finish(2, 7, nil)
+	if run, replay := d.Begin(2, 7); run || replay != nil {
+		t.Fatalf("one-way duplicate: run=%v replay=%v", run, replay)
+	}
+}
+
+func TestDeduperSendersAreIndependent(t *testing.T) {
+	d := NewDeduper(4)
+	d.Begin(1, 10)
+	if run, _ := d.Begin(2, 10); !run {
+		t.Fatal("same seq from a different sender treated as duplicate")
+	}
+}
+
+func TestDeduperEvictsFIFO(t *testing.T) {
+	d := NewDeduper(2)
+	for seq := uint64(1); seq <= 3; seq++ {
+		d.Begin(1, seq)
+		d.Finish(1, seq, []byte{byte(seq)})
+	}
+	// seq 1 evicted: treated as new.
+	if run, _ := d.Begin(1, 1); !run {
+		t.Fatal("evicted seq not treated as new")
+	}
+	// seq 3 still cached.
+	if run, replay := d.Begin(1, 3); run || replay == nil {
+		t.Fatalf("cached seq: run=%v replay=%v", run, replay)
+	}
+}
+
+func TestDeduperForget(t *testing.T) {
+	d := NewDeduper(4)
+	d.Begin(1, 10)
+	d.Finish(1, 10, []byte("x"))
+	d.Forget(1)
+	if run, _ := d.Begin(1, 10); !run {
+		t.Fatal("forgotten sender still deduped")
+	}
+}
+
+func TestDeduperConcurrent(t *testing.T) {
+	d := NewDeduper(64)
+	var ran sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := uint64(0); seq < 64; seq++ {
+				if run, _ := d.Begin(3, seq); run {
+					if _, loaded := ran.LoadOrStore(seq, true); loaded {
+						t.Errorf("seq %d ran twice", seq)
+					}
+					d.Finish(3, seq, []byte{1})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -40,6 +40,19 @@ type Options struct {
 	// CallTimeout bounds Call when the caller's context has no deadline
 	// (default 5s).
 	CallTimeout time.Duration
+	// Interceptor, when non-nil, is consulted for every envelope put on
+	// the wire (requests, one-way sends, and replies) and may drop, delay,
+	// or duplicate it — the seam the chaos package plugs into. Unlike
+	// Drop, interceptor-dropped messages are lost silently mid-flight: a
+	// Call observes a timeout, not an error.
+	Interceptor transport.Interceptor
+	// RetransmitInterval, when > 0, makes Call re-send its request (same
+	// envelope seq) at this interval until the reply arrives or the
+	// context expires. Receivers dedup on (from, seq) and replay the
+	// original reply, so retransmission is safe for non-idempotent
+	// handlers. Off by default: the healthy-path experiments count every
+	// message, and retransmission must not perturb them.
+	RetransmitInterval time.Duration
 }
 
 // Net is an in-process network. The zero value is not usable; call New.
@@ -50,6 +63,7 @@ type Net struct {
 	nodes     map[wire.SiteID]*node
 	blocked   map[[2]wire.SiteID]bool
 	crashed   map[wire.SiteID]bool
+	opens     uint64 // total Opens ever, for per-open seq epochs
 	deliverWG sync.WaitGroup
 }
 
@@ -76,13 +90,19 @@ func (n *Net) Open(id wire.SiteID, handler transport.Handler) (transport.Node, e
 	if _, ok := n.nodes[id]; ok {
 		return nil, fmt.Errorf("memnet: site %d already open", id)
 	}
+	n.opens++
 	nd := &node{
 		net:     n,
 		id:      id,
 		handler: handler,
 		inbox:   make(chan []byte, n.opts.QueueLen),
 		pending: make(map[uint64]chan wire.Message),
+		dedup:   transport.NewDeduper(0),
 		done:    make(chan struct{}),
+		// Seqs start at a per-open epoch so a site closed and reopened
+		// (crash-restart) never reuses seqs its peers may still have in
+		// their dedup caches.
+		seq: n.opens << 32,
 	}
 	n.nodes[id] = nd
 	nd.wg.Add(1)
@@ -181,6 +201,13 @@ func (n *Net) send(env *wire.Envelope) error {
 	if n.opts.Drop != nil && n.opts.Drop(env.From, env.To, env.Msg) {
 		return nil // silently lost
 	}
+	var fault transport.Fault
+	if n.opts.Interceptor != nil {
+		fault = n.opts.Interceptor.Intercept(env.From, env.To, env.IsReply, env.Msg.Kind())
+		if fault.Drop {
+			return nil // silently lost mid-flight
+		}
+	}
 	raw := wire.EncodeEnvelope(env)
 	deliver := func() {
 		defer n.deliverWG.Done()
@@ -196,17 +223,22 @@ func (n *Net) send(env *wire.Envelope) error {
 		case <-dst.done:
 		}
 	}
-	n.deliverWG.Add(1)
-	if n.opts.Latency == nil {
-		deliver()
-		return nil
+	copies := 1
+	if fault.Duplicate {
+		copies = 2
 	}
-	d := n.opts.Latency(env.From, env.To)
-	if d <= 0 {
-		deliver()
-		return nil
+	d := fault.Delay
+	if n.opts.Latency != nil {
+		d += n.opts.Latency(env.From, env.To)
 	}
-	time.AfterFunc(d, deliver)
+	for i := 0; i < copies; i++ {
+		n.deliverWG.Add(1)
+		if d <= 0 {
+			deliver()
+		} else {
+			time.AfterFunc(d, deliver)
+		}
+	}
 	return nil
 }
 
@@ -220,6 +252,7 @@ type node struct {
 	id      wire.SiteID
 	handler transport.Handler
 	inbox   chan []byte
+	dedup   *transport.Deduper
 	done    chan struct{}
 	wg      sync.WaitGroup
 
@@ -257,6 +290,19 @@ func (nd *node) loop() {
 				}
 				continue
 			}
+			// Idempotent receive: a duplicate of a request we already
+			// served replays the recorded reply without re-running the
+			// handler; a duplicate still in flight is dropped (the
+			// retransmitting caller will try again).
+			run, replay := nd.dedup.Begin(env.From, env.Seq)
+			if !run {
+				if replay != nil {
+					if out, err := wire.DecodeEnvelope(replay); err == nil {
+						_ = nd.net.send(out)
+					}
+				}
+				continue
+			}
 			go nd.serve(env)
 		}
 	}
@@ -279,6 +325,7 @@ func (nd *node) serve(env *wire.Envelope) {
 	reply := nd.handler(ctx, env.From, env.Msg)
 	sp.EndSpan()
 	if reply == nil {
+		nd.dedup.Finish(env.From, env.Seq, nil)
 		return
 	}
 	out := &wire.Envelope{
@@ -293,6 +340,7 @@ func (nd *node) serve(env *wire.Envelope) {
 	if sc := trace.FromContext(ctx); sc.Valid() {
 		out.TraceID, out.SpanID = uint64(sc.Trace), uint64(sc.Span)
 	}
+	nd.dedup.Finish(env.From, env.Seq, wire.EncodeEnvelope(out))
 	_ = nd.net.send(out)
 }
 
@@ -323,7 +371,8 @@ func (nd *node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 		nd.mu.Unlock()
 	}
 
-	err := nd.net.send(nd.envelope(ctx, to, seq, req))
+	env := nd.envelope(ctx, to, seq, req)
+	err := nd.net.send(env)
 	if err != nil {
 		unregister()
 		return nil, err
@@ -334,18 +383,31 @@ func (nd *node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 		ctx, cancel = context.WithTimeout(ctx, nd.net.opts.CallTimeout)
 		defer cancel()
 	}
-	select {
-	case reply := <-ch:
-		return reply, nil
-	case <-ctx.Done():
-		unregister()
-		if ctx.Err() == context.DeadlineExceeded {
-			return nil, transport.ErrTimeout
+	// With retransmission enabled, re-send the same envelope (same seq)
+	// on an interval: the receiver dedups and replays its reply, so a
+	// dropped request or dropped reply heals within the Call window.
+	var retransmit <-chan time.Time
+	if nd.net.opts.RetransmitInterval > 0 {
+		t := time.NewTicker(nd.net.opts.RetransmitInterval)
+		defer t.Stop()
+		retransmit = t.C
+	}
+	for {
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-retransmit:
+			_ = nd.net.send(env) // best effort; the next tick tries again
+		case <-ctx.Done():
+			unregister()
+			if ctx.Err() == context.DeadlineExceeded {
+				return nil, transport.ErrTimeout
+			}
+			return nil, ctx.Err()
+		case <-nd.done:
+			unregister()
+			return nil, transport.ErrClosed
 		}
-		return nil, ctx.Err()
-	case <-nd.done:
-		unregister()
-		return nil, transport.ErrClosed
 	}
 }
 

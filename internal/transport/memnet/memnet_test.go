@@ -335,3 +335,156 @@ func TestJitteredLatencyEndToEnd(t *testing.T) {
 		t.Fatalf("rtt = %v, want >= ~10ms", rtt)
 	}
 }
+
+// scriptedInterceptor applies a fixed sequence of faults to requests
+// (replies pass clean unless faultReplies is set).
+type scriptedInterceptor struct {
+	mu           sync.Mutex
+	faults       []transport.Fault
+	faultReplies bool
+	intercepts   int
+}
+
+func (si *scriptedInterceptor) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if isReply && !si.faultReplies {
+		return transport.Fault{}
+	}
+	si.intercepts++
+	if len(si.faults) == 0 {
+		return transport.Fault{}
+	}
+	f := si.faults[0]
+	si.faults = si.faults[1:]
+	return f
+}
+
+func TestInterceptorDropCausesTimeout(t *testing.T) {
+	si := &scriptedInterceptor{faults: []transport.Fault{{Drop: true}}}
+	net := New(Options{Interceptor: si, CallTimeout: 50 * time.Millisecond})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, echoHandler)
+	if _, err := a.Call(context.Background(), 2, &wire.Read{Key: "x"}); !errors.Is(err, transport.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestRetransmitHealsDroppedRequest(t *testing.T) {
+	si := &scriptedInterceptor{faults: []transport.Fault{{Drop: true}}}
+	net := New(Options{Interceptor: si, RetransmitInterval: 10 * time.Millisecond})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, echoHandler)
+	reply, err := a.Call(context.Background(), 2, &wire.Read{Key: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.(*wire.ReadReply).Value != 3 {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestRetransmitHealsDroppedReply(t *testing.T) {
+	// Drop the first *reply*; the retransmitted request must replay the
+	// original reply from the receiver's dedup cache, and the handler
+	// must not run twice.
+	var handled sync.Map
+	var count int
+	var mu sync.Mutex
+	handler := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		handled.Store(msg.(*wire.Read).Key, true)
+		return &wire.ReadReply{OK: true, Value: 7}
+	}
+	si := &scriptedInterceptor{faults: []transport.Fault{{Drop: true}}, faultReplies: true}
+	net := New(Options{RetransmitInterval: 10 * time.Millisecond})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, handler)
+	// Install the interceptor for replies only after open; wrap: easier to
+	// set via Options, but then the request itself is the first intercept.
+	// Instead configure the fault sequence so the request passes and the
+	// reply drops: with faultReplies, intercepts apply to both directions,
+	// so pass the request explicitly first.
+	si.mu.Lock()
+	si.faults = []transport.Fault{{}, {Drop: true}}
+	si.mu.Unlock()
+	net.opts.Interceptor = si
+	reply, err := a.Call(context.Background(), 2, &wire.Read{Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.(*wire.ReadReply).Value != 7 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want 1", count)
+	}
+}
+
+func TestDuplicateRequestServedOnce(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	handler := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return &wire.ReadReply{OK: true, Value: 1}
+	}
+	si := &scriptedInterceptor{faults: []transport.Fault{{Duplicate: true}}}
+	net := New(Options{Interceptor: si})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, handler)
+	if _, err := a.Call(context.Background(), 2, &wire.Read{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	// The duplicate may still be in a handler goroutine; give dedup's
+	// in-flight drop a moment.
+	time.Sleep(20 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want 1", count)
+	}
+}
+
+func TestInterceptorDelayPostponesDelivery(t *testing.T) {
+	si := &scriptedInterceptor{faults: []transport.Fault{{Delay: 30 * time.Millisecond}}}
+	net := New(Options{Interceptor: si})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, echoHandler)
+	start := time.Now()
+	if _, err := a.Call(context.Background(), 2, &wire.Read{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("call returned after %v, want >= ~30ms", d)
+	}
+}
+
+func TestReopenedSiteGetsFreshSeqEpoch(t *testing.T) {
+	net := New(Options{})
+	a, _ := net.Open(1, echoHandler)
+	net.Open(2, echoHandler)
+	if _, err := a.Call(context.Background(), 2, &wire.Read{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	a2, err := net.Open(1, echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reopened node's seqs must not collide with those already in
+	// site 2's dedup cache, or this call would be treated as a duplicate
+	// and never answered.
+	if _, err := a2.Call(context.Background(), 2, &wire.Read{Key: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if s1, s2 := a.(*node).seq, a2.(*node).seq; s2>>32 == s1>>32 {
+		t.Fatalf("reopened node shares seq epoch: %x vs %x", s1, s2)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/trace"
 	"avdb/internal/transport"
@@ -48,6 +49,21 @@ type Config struct {
 	// Tracer records send/recv spans and propagates trace context in
 	// envelopes. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Interceptor, when non-nil, is consulted for every envelope before
+	// it is written (requests, one-way sends, and replies) and may drop,
+	// delay, or duplicate it — the same chaos seam memnet exposes, so
+	// fault scenarios run against real TCP too.
+	Interceptor transport.Interceptor
+	// RetransmitInterval, when > 0, makes Call re-send its request (same
+	// envelope seq) at this interval until the reply arrives or the
+	// context expires; receivers dedup on (from, seq) per connection and
+	// replay the original reply.
+	RetransmitInterval time.Duration
+	// RedialBackoff caps how eagerly a down peer is re-dialed: after a
+	// failed dial, further sends to that peer fail fast (ErrUnreachable)
+	// until the backoff elapses, and the delay grows exponentially with
+	// consecutive failures. The zero value selects 50ms base / 2s cap.
+	RedialBackoff failure.Policy
 }
 
 // Node is one site's TCP endpoint.
@@ -59,12 +75,19 @@ type Node struct {
 	mu       sync.Mutex
 	peers    map[wire.SiteID]string
 	conns    map[wire.SiteID]*peerConn
+	redial   map[wire.SiteID]*redialState
 	accepted map[net.Conn]struct{}
 	pending  map[uint64]chan wire.Message
 	seq      uint64
 	closed   bool
 
 	wg sync.WaitGroup
+}
+
+// redialState throttles reconnection to one down peer.
+type redialState struct {
+	failures int       // consecutive failed dials
+	until    time.Time // don't redial before this instant
 }
 
 // peerConn is an outgoing connection with a combining write buffer.
@@ -150,6 +173,12 @@ func Open(cfg Config, handler transport.Handler) (*Node, error) {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = 5 * time.Second
 	}
+	if cfg.RedialBackoff.BaseDelay <= 0 {
+		cfg.RedialBackoff.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.RedialBackoff.MaxDelay <= 0 {
+		cfg.RedialBackoff.MaxDelay = 2 * time.Second
+	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("tcpnet: %w", err)
@@ -160,6 +189,7 @@ func Open(cfg Config, handler transport.Handler) (*Node, error) {
 		ln:       ln,
 		peers:    make(map[wire.SiteID]string),
 		conns:    make(map[wire.SiteID]*peerConn),
+		redial:   make(map[wire.SiteID]*redialState),
 		accepted: make(map[net.Conn]struct{}),
 		pending:  make(map[uint64]chan wire.Message),
 	}
@@ -182,7 +212,8 @@ func (n *Node) AddPeer(id wire.SiteID, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers[id] = addr
-	delete(n.conns, id) // force re-dial at the new address
+	delete(n.conns, id)  // force re-dial at the new address
+	delete(n.redial, id) // a new address gets a fresh chance
 }
 
 // acceptLoop accepts inbound connections and spawns readers.
@@ -206,7 +237,9 @@ func (n *Node) acceptLoop() {
 	}
 }
 
-// readLoop decodes frames from one inbound connection.
+// readLoop decodes frames from one inbound connection. Each connection
+// gets its own request deduper: a peer restart means a new connection,
+// so its fresh seq space can never collide with cached entries.
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer func() {
@@ -215,6 +248,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		delete(n.accepted, conn)
 		n.mu.Unlock()
 	}()
+	dedup := transport.NewDeduper(0)
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
@@ -242,6 +276,17 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 			continue
 		}
+		run, replay := dedup.Begin(env.From, env.Seq)
+		if !run {
+			// Duplicate request: replay the recorded reply (if the first
+			// execution finished with one), never re-run the handler.
+			if replay != nil {
+				if out, err := wire.DecodeEnvelope(replay); err == nil {
+					_ = n.send(out)
+				}
+			}
+			continue
+		}
 		n.wg.Add(1)
 		go func(env *wire.Envelope) {
 			defer n.wg.Done()
@@ -257,6 +302,7 @@ func (n *Node) readLoop(conn net.Conn) {
 			reply := n.handler(ctx, env.From, env.Msg)
 			sp.EndSpan()
 			if reply == nil {
+				dedup.Finish(env.From, env.Seq, nil)
 				return
 			}
 			out := &wire.Envelope{
@@ -265,12 +311,17 @@ func (n *Node) readLoop(conn net.Conn) {
 			if sc := trace.FromContext(ctx); sc.Valid() {
 				out.TraceID, out.SpanID = uint64(sc.Trace), uint64(sc.Span)
 			}
+			dedup.Finish(env.From, env.Seq, wire.EncodeEnvelope(out))
 			_ = n.send(out)
 		}(env)
 	}
 }
 
-// getConn returns a live outgoing connection to peer, dialing if needed.
+// getConn returns a live outgoing connection to peer, dialing if
+// needed. Dials to a down peer are throttled: after a failure, further
+// attempts fail fast until an exponentially growing backoff elapses,
+// so a dead site costs each sender one cheap error instead of a
+// DialTimeout-long stall per message.
 func (n *Node) getConn(to wire.SiteID) (*peerConn, error) {
 	n.mu.Lock()
 	if n.closed {
@@ -282,14 +333,31 @@ func (n *Node) getConn(to wire.SiteID) (*peerConn, error) {
 		return pc, nil
 	}
 	addr, ok := n.peers[to]
-	n.mu.Unlock()
 	if !ok {
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: no address for site %d", transport.ErrUnreachable, to)
 	}
+	if rd := n.redial[to]; rd != nil && time.Now().Before(rd.until) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("%w: site %d in redial backoff", transport.ErrUnreachable, to)
+	}
+	n.mu.Unlock()
 	conn, err := net.DialTimeout("tcp", addr, n.cfg.DialTimeout)
 	if err != nil {
+		n.mu.Lock()
+		rd := n.redial[to]
+		if rd == nil {
+			rd = &redialState{}
+			n.redial[to] = rd
+		}
+		rd.failures++
+		rd.until = time.Now().Add(n.cfg.RedialBackoff.Backoff(rd.failures))
+		n.mu.Unlock()
 		return nil, fmt.Errorf("%w: dial %s: %v", transport.ErrUnreachable, addr, err)
 	}
+	n.mu.Lock()
+	delete(n.redial, to)
+	n.mu.Unlock()
 	pc := newPeerConn(conn)
 	n.mu.Lock()
 	if existing, ok := n.conns[to]; ok {
@@ -337,6 +405,24 @@ func (n *Node) count(env *wire.Envelope) {
 // nothing per message.
 func (n *Node) send(env *wire.Envelope) error {
 	n.count(env)
+	if it := n.cfg.Interceptor; it != nil {
+		fault := it.Intercept(env.From, env.To, env.IsReply, env.Msg.Kind())
+		if fault.Drop {
+			return nil // silently lost mid-flight
+		}
+		if fault.Duplicate {
+			defer func() { _ = n.transmit(env) }()
+		}
+		if fault.Delay > 0 {
+			time.AfterFunc(fault.Delay, func() { _ = n.transmit(env) })
+			return nil
+		}
+	}
+	return n.transmit(env)
+}
+
+// transmit is send after fault injection: dial (or reuse) and write.
+func (n *Node) transmit(env *wire.Envelope) error {
 	for attempt := 0; attempt < 2; attempt++ {
 		pc, err := n.getConn(env.To)
 		if err != nil {
@@ -376,7 +462,8 @@ func (n *Node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wire
 		delete(n.pending, seq)
 		n.mu.Unlock()
 	}
-	if err := n.send(n.envelope(ctx, to, seq, req)); err != nil {
+	env := n.envelope(ctx, to, seq, req)
+	if err := n.send(env); err != nil {
 		unregister()
 		return nil, err
 	}
@@ -385,15 +472,27 @@ func (n *Node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wire
 		ctx, cancel = context.WithTimeout(ctx, n.cfg.CallTimeout)
 		defer cancel()
 	}
-	select {
-	case reply := <-ch:
-		return reply, nil
-	case <-ctx.Done():
-		unregister()
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, transport.ErrTimeout
+	// With retransmission enabled, re-send the same envelope (same seq)
+	// periodically; the receiver's per-connection dedup replays its reply.
+	var retransmit <-chan time.Time
+	if n.cfg.RetransmitInterval > 0 {
+		t := time.NewTicker(n.cfg.RetransmitInterval)
+		defer t.Stop()
+		retransmit = t.C
+	}
+	for {
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-retransmit:
+			_ = n.send(env) // best effort; the next tick tries again
+		case <-ctx.Done():
+			unregister()
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				return nil, transport.ErrTimeout
+			}
+			return nil, ctx.Err()
 		}
-		return nil, ctx.Err()
 	}
 }
 

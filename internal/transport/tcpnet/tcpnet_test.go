@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/site"
 	"avdb/internal/storage"
@@ -470,4 +471,187 @@ func BenchmarkSendAllocsParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestRedialBackoffFailsFast(t *testing.T) {
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0",
+		DialTimeout:   200 * time.Millisecond,
+		RedialBackoff: failure.Policy{BaseDelay: time.Second, MaxDelay: time.Minute}}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	// A TEST-NET address that won't answer: the first dial eats the full
+	// DialTimeout, subsequent sends inside the backoff window fail fast.
+	n1.AddPeer(9, "127.0.0.1:1") // nothing listens on port 1
+	ctx := context.Background()
+	if err := n1.Send(ctx, 9, &wire.DeltaAck{Origin: 1, UpTo: 1}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("first send err = %v", err)
+	}
+	start := time.Now()
+	if err := n1.Send(ctx, 9, &wire.DeltaAck{Origin: 1, UpTo: 2}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("second send err = %v", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("send during backoff took %v, want fail-fast", d)
+	}
+	n1.mu.Lock()
+	rd := n1.redial[9]
+	n1.mu.Unlock()
+	if rd == nil || rd.failures == 0 {
+		t.Fatalf("redial state not recorded: %+v", rd)
+	}
+}
+
+func TestRedialBackoffGrowsAndResets(t *testing.T) {
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0",
+		DialTimeout:   200 * time.Millisecond,
+		RedialBackoff: failure.Policy{BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n1.AddPeer(9, "127.0.0.1:1")
+	ctx := context.Background()
+	// Accumulate failures (sleeping past each short backoff so every send
+	// really dials).
+	for i := 0; i < 4; i++ {
+		n1.Send(ctx, 9, &wire.DeltaAck{Origin: 1, UpTo: 1})
+		time.Sleep(60 * time.Millisecond)
+	}
+	n1.mu.Lock()
+	failures := 0
+	if rd := n1.redial[9]; rd != nil {
+		failures = rd.failures
+	}
+	n1.mu.Unlock()
+	if failures < 2 {
+		t.Fatalf("failures = %d, want several", failures)
+	}
+	// A real peer at the address clears the backoff on first success.
+	n2, err := Open(Config{ID: 9, Listen: "127.0.0.1:0"}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(9, n2.Addr()) // also resets redial state
+	n2.AddPeer(1, n1.Addr())
+	if _, err := n1.Call(ctx, 9, &wire.Read{Key: "xy"}); err != nil {
+		t.Fatal(err)
+	}
+	n1.mu.Lock()
+	rd := n1.redial[9]
+	n1.mu.Unlock()
+	if rd != nil {
+		t.Fatalf("redial state survived success: %+v", rd)
+	}
+}
+
+// tcpScriptedInterceptor drops the first matching request.
+type tcpScriptedInterceptor struct {
+	mu      sync.Mutex
+	dropped bool
+}
+
+func (si *tcpScriptedInterceptor) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	si.mu.Lock()
+	defer si.mu.Unlock()
+	if !isReply && kind == wire.KindRead && !si.dropped {
+		si.dropped = true
+		return transport.Fault{Drop: true}
+	}
+	return transport.Fault{}
+}
+
+func TestRetransmitHealsDropOverTCP(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	counting := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		if _, ok := msg.(*wire.Read); ok {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return &wire.ReadReply{OK: true, Value: 11}
+		}
+		return nil
+	}
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0",
+		Interceptor:        &tcpScriptedInterceptor{},
+		RetransmitInterval: 20 * time.Millisecond}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0"}, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr())
+
+	reply, err := n1.Call(context.Background(), 2, &wire.Read{Key: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.(*wire.ReadReply).Value != 11 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want 1", count)
+	}
+}
+
+func TestDuplicateRequestDedupedOverTCP(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	counting := func(ctx context.Context, from wire.SiteID, msg wire.Message) wire.Message {
+		if _, ok := msg.(*wire.Read); ok {
+			mu.Lock()
+			count++
+			mu.Unlock()
+			return &wire.ReadReply{OK: true, Value: 5}
+		}
+		return nil
+	}
+	dup := &dupOnceInterceptor{}
+	n1, err := Open(Config{ID: 1, Listen: "127.0.0.1:0", Interceptor: dup}, echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	n2, err := Open(Config{ID: 2, Listen: "127.0.0.1:0"}, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+	n1.AddPeer(2, n2.Addr())
+	n2.AddPeer(1, n1.Addr())
+
+	if _, err := n1.Call(context.Background(), 2, &wire.Read{Key: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the duplicate land
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("handler ran %d times, want 1", count)
+	}
+}
+
+type dupOnceInterceptor struct {
+	mu   sync.Mutex
+	done bool
+}
+
+func (di *dupOnceInterceptor) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	if !isReply && kind == wire.KindRead && !di.done {
+		di.done = true
+		return transport.Fault{Duplicate: true}
+	}
+	return transport.Fault{}
 }

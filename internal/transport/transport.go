@@ -12,6 +12,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"time"
 
 	"avdb/internal/wire"
 )
@@ -58,4 +59,26 @@ type Node interface {
 type Network interface {
 	// Open registers handler for site id and returns its node.
 	Open(id wire.SiteID, handler Handler) (Node, error)
+}
+
+// Fault is an Interceptor's verdict on one message delivery.
+type Fault struct {
+	// Drop discards the message. Requests are dropped before delivery;
+	// replies are dropped before reaching the caller. The sender observes
+	// a timeout, not an error.
+	Drop bool
+	// Delay postpones delivery by the given duration (added on top of any
+	// base transport latency).
+	Delay time.Duration
+	// Duplicate delivers the message twice, exercising the receiver's
+	// idempotent-receive dedup.
+	Duplicate bool
+}
+
+// Interceptor decides the fate of each message as it enters the
+// transport. Both memnet and tcpnet consult it on their send paths (for
+// requests, one-way sends, and replies), which is the seam the chaos
+// package plugs into. Implementations must be safe for concurrent use.
+type Interceptor interface {
+	Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) Fault
 }

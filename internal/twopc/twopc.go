@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avdb/internal/failure"
 	"avdb/internal/storage"
 	"avdb/internal/trace"
 	"avdb/internal/transport"
@@ -71,9 +72,27 @@ type Options struct {
 	// PreparedTTL is how long a participant holds a prepared transaction
 	// before presuming abort (default 10s).
 	PreparedTTL time.Duration
+	// DecisionRetries is how many times a failed decision delivery is
+	// retried per peer (default 2; 0 keeps the single attempt, a negative
+	// value disables retries explicitly). Decisions must eventually reach
+	// every participant or the prepared-TTL sweep frees it instead.
+	DecisionRetries int
+	// RetryBackoff spaces decision retries (default 25ms base, 250ms cap).
+	RetryBackoff failure.Policy
 	// Tracer records protocol spans (nil disables tracing).
 	Tracer *trace.Tracer
 }
+
+// Stats counts participant/coordinator outcomes; atomically updated.
+type Stats struct {
+	Aborts          atomic.Int64 // coordinated updates that ended in abort
+	Swept           atomic.Int64 // prepared transactions freed by presumed abort
+	DecisionRetries atomic.Int64 // decision deliveries that needed a retry
+}
+
+// maxDecidedTxns bounds the decided-outcome cache that makes duplicate
+// decision deliveries idempotent.
+const maxDecidedTxns = 4096
 
 // Engine runs both coordinator and participant roles for one site.
 type Engine struct {
@@ -85,6 +104,14 @@ type Engine struct {
 
 	mu       sync.Mutex
 	prepared map[uint64]*preparedTxn
+	// decided remembers the outcome of recently finished transactions so
+	// a duplicated or retransmitted decision acknowledges consistently
+	// (a re-delivered COMMIT for a committed txn must ack OK, not claim
+	// presumed abort). Bounded FIFO.
+	decided      map[uint64]bool
+	decidedOrder []uint64
+
+	stats Stats
 }
 
 type preparedTxn struct {
@@ -103,11 +130,45 @@ func New(opts Options, tm *txn.Manager) *Engine {
 	if opts.PreparedTTL <= 0 {
 		opts.PreparedTTL = 10 * time.Second
 	}
-	return &Engine{opts: opts, tm: tm, prepared: make(map[uint64]*preparedTxn)}
+	if opts.DecisionRetries == 0 {
+		opts.DecisionRetries = 2
+	} else if opts.DecisionRetries < 0 {
+		opts.DecisionRetries = 0
+	}
+	if opts.RetryBackoff.BaseDelay <= 0 {
+		opts.RetryBackoff.BaseDelay = 25 * time.Millisecond
+	}
+	if opts.RetryBackoff.MaxDelay <= 0 {
+		opts.RetryBackoff.MaxDelay = 250 * time.Millisecond
+	}
+	return &Engine{
+		opts:     opts,
+		tm:       tm,
+		prepared: make(map[uint64]*preparedTxn),
+		decided:  make(map[uint64]bool),
+	}
 }
 
 // SetNode attaches the transport endpoint (done after the network opens).
 func (e *Engine) SetNode(n transport.Node) { e.node = n }
+
+// Stats exposes the outcome counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// recordDecided remembers a transaction's outcome, evicting the oldest
+// record when the cache is full. Caller holds e.mu.
+func (e *Engine) recordDecided(txnID uint64, commit bool) {
+	if _, ok := e.decided[txnID]; ok {
+		return
+	}
+	if len(e.decidedOrder) >= maxDecidedTxns {
+		evict := e.decidedOrder[0]
+		e.decidedOrder = e.decidedOrder[1:]
+		delete(e.decided, evict)
+	}
+	e.decided[txnID] = commit
+	e.decidedOrder = append(e.decidedOrder, txnID)
+}
 
 // newTxnID builds a cluster-unique transaction ID.
 func (e *Engine) newTxnID() uint64 {
@@ -172,12 +233,14 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	// Phase 2: decide.
 	if !allOK {
 		local.Abort()
+		e.stats.Aborts.Add(1)
 		e.broadcastDecision(ctx, peers, txnID, false, nil)
 		return fmt.Errorf("%w: %s", ErrAborted, reason)
 	}
 	if err := local.Commit(); err != nil {
 		// Local commit of a validated, locked batch cannot fail in normal
 		// operation; treat it as a global abort to stay safe.
+		e.stats.Aborts.Add(1)
 		e.broadcastDecision(ctx, peers, txnID, false, nil)
 		return fmt.Errorf("%w: local commit: %v", ErrAborted, err)
 	}
@@ -203,14 +266,33 @@ func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txn
 		wg.Add(1)
 		go func(p wire.SiteID) {
 			defer wg.Done()
-			cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
-			defer cancel()
-			reply, err := e.node.Call(cctx, p, &wire.IUDecision{TxnID: txnID, Commit: commit})
 			ok := false
-			if err == nil {
-				if a, isAck := reply.(*wire.IUAck); isAck {
-					ok = a.OK
+			// A lost decision would leave the participant prepared until
+			// its TTL sweep presumes abort, so retry with backoff — the
+			// participant's decided-outcome cache makes duplicates safe.
+			for attempt := 0; attempt <= e.opts.DecisionRetries; attempt++ {
+				if attempt > 0 {
+					e.stats.DecisionRetries.Add(1)
+					t := time.NewTimer(e.opts.RetryBackoff.Backoff(attempt - 1))
+					select {
+					case <-ctx.Done():
+						t.Stop()
+					case <-t.C:
+					}
+					if ctx.Err() != nil {
+						break
+					}
 				}
+				cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
+				reply, err := e.node.Call(cctx, p, &wire.IUDecision{TxnID: txnID, Commit: commit})
+				cancel()
+				if err != nil {
+					continue
+				}
+				if a, isAck := reply.(*wire.IUAck); isAck && a.OK {
+					ok = true
+				}
+				break
 			}
 			if onAck != nil {
 				mu.Lock()
@@ -266,12 +348,21 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 	e.mu.Lock()
 	p := e.prepared[msg.TxnID]
 	delete(e.prepared, msg.TxnID)
-	e.mu.Unlock()
 	if p == nil {
-		// Unknown transaction: presumed abort. Acknowledging an abort is
-		// safe; acknowledging a commit we never prepared is not.
+		// No prepared state. If we already applied a decision for this
+		// transaction, acknowledge consistently — a retransmitted COMMIT
+		// for a committed txn must ack OK, not claim presumed abort.
+		// Otherwise the transaction is unknown: presumed abort, so an
+		// abort acks OK and a commit we never prepared does not.
+		if outcome, ok := e.decided[msg.TxnID]; ok {
+			e.mu.Unlock()
+			return &wire.IUAck{TxnID: msg.TxnID, OK: outcome == msg.Commit}
+		}
+		e.mu.Unlock()
 		return &wire.IUAck{TxnID: msg.TxnID, OK: !msg.Commit}
 	}
+	e.recordDecided(msg.TxnID, msg.Commit)
+	e.mu.Unlock()
 	if msg.Commit {
 		if err := p.tx.Commit(); err != nil {
 			return &wire.IUAck{TxnID: msg.TxnID, OK: false}
@@ -292,12 +383,14 @@ func (e *Engine) Sweep(now time.Time) int {
 		if now.After(p.deadline) {
 			victims = append(victims, p)
 			delete(e.prepared, id)
+			e.recordDecided(id, false)
 		}
 	}
 	e.mu.Unlock()
 	for _, p := range victims {
 		p.tx.Abort()
 	}
+	e.stats.Swept.Add(int64(len(victims)))
 	return len(victims)
 }
 

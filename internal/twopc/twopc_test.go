@@ -26,7 +26,12 @@ type harness struct {
 
 func newHarness(t *testing.T, n int, initial int64) *harness {
 	t.Helper()
-	h := &harness{net: memnet.New(memnet.Options{CallTimeout: 2 * time.Second})}
+	return newHarnessNet(t, n, initial, memnet.Options{CallTimeout: 2 * time.Second})
+}
+
+func newHarnessNet(t *testing.T, n int, initial int64, opts memnet.Options) *harness {
+	t.Helper()
+	h := &harness{net: memnet.New(opts)}
 	for i := 0; i < n; i++ {
 		eng, err := storage.Open(storage.Options{})
 		if err != nil {
@@ -317,4 +322,125 @@ func BenchmarkImmediateUpdate3Sites(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func TestDuplicateCommitAcksConsistently(t *testing.T) {
+	h := newHarness(t, 2, 100)
+	e := h.engines[1]
+	vote := e.HandlePrepare(context.Background(), 0, &wire.IUPrepare{TxnID: 7, Coord: 0, Key: "k", Delta: -10})
+	if !vote.OK {
+		t.Fatalf("prepare refused: %s", vote.Reason)
+	}
+	ack := e.HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 7, Commit: true})
+	if !ack.OK {
+		t.Fatal("commit not acked")
+	}
+	// A retransmitted COMMIT for the committed txn must ack OK — the
+	// decided-outcome cache distinguishes it from a never-prepared txn —
+	// and must not re-apply the delta.
+	ack = e.HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 7, Commit: true})
+	if !ack.OK {
+		t.Fatal("duplicate commit reported as presumed abort")
+	}
+	if n, _ := h.stores[1].Amount("k"); n != 90 {
+		t.Fatalf("duplicate commit re-applied: %d", n)
+	}
+	// But a conflicting decision (abort of a committed txn) must not ack.
+	ack = e.HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 7, Commit: false})
+	if ack.OK {
+		t.Fatal("acked an abort of a committed txn")
+	}
+}
+
+func TestParticipantVotesAbortOnValidation(t *testing.T) {
+	// One participant cannot satisfy the update (its replica would go
+	// negative): it votes abort and the coordinator aborts everywhere,
+	// releasing all prepared state.
+	h := newHarness(t, 3, 100)
+	h.stores[2].Put(storage.Record{Key: "k", Amount: 3, Class: storage.NonRegular})
+	err := h.engines[0].Update(context.Background(), h.peers[0], "k", -10)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want abort", err)
+	}
+	if got := h.amounts(t); got[0] != 100 || got[1] != 100 || got[2] != 3 {
+		t.Fatalf("amounts after abort = %v", got)
+	}
+	for i, e := range h.engines {
+		if e.PreparedCount() != 0 {
+			t.Fatalf("site %d still holds prepared txns", i)
+		}
+	}
+	if h.engines[0].Stats().Aborts.Load() != 1 {
+		t.Fatal("Aborts not counted")
+	}
+}
+
+func TestCoordinatorDeathAfterPrepareFreesParticipant(t *testing.T) {
+	// The coordinator prepares at a participant and then dies: no
+	// decision ever arrives. The participant's update path is blocked
+	// only until the TTL sweep presumes abort; afterwards new updates
+	// proceed and the data is untouched.
+	h := newHarness(t, 2, 100)
+	e := h.engines[1]
+	vote := e.HandlePrepare(context.Background(), 0, &wire.IUPrepare{TxnID: 42, Coord: 0, Key: "k", Delta: -50})
+	if !vote.OK {
+		t.Fatalf("prepare refused: %s", vote.Reason)
+	}
+	// The prepared txn holds the lock: a local immediate update times out.
+	if err := h.engines[1].Update(context.Background(), h.peers[1], "k", -1); !errors.Is(err, ErrAborted) {
+		t.Fatalf("expected lock-blocked abort, got %v", err)
+	}
+	if n := e.Sweep(time.Now().Add(time.Minute)); n != 1 {
+		t.Fatalf("sweep removed %d, want 1", n)
+	}
+	if e.Stats().Swept.Load() != 1 {
+		t.Fatal("Swept not counted")
+	}
+	// A decision that straggles in after the sweep sees presumed abort.
+	ack := e.HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 42, Commit: true})
+	if ack.OK {
+		t.Fatal("acked commit of a swept (presumed-aborted) txn")
+	}
+	if err := h.engines[1].Update(context.Background(), h.peers[1], "k", -1); err != nil {
+		t.Fatalf("update after sweep: %v", err)
+	}
+	if got := h.amounts(t); got[0] != 99 || got[1] != 99 {
+		t.Fatalf("amounts = %v", got)
+	}
+}
+
+func TestDecisionRetriedThroughDrops(t *testing.T) {
+	// Phase 1 goes through clean; the first delivery of every decision is
+	// dropped. The retry loop re-sends and the participant's dedup-free
+	// handler (each retry is a fresh call) still applies exactly once.
+	drop := &decisionDropper{remaining: 1}
+	h := newHarnessNet(t, 2, 100, memnet.Options{CallTimeout: 2 * time.Second, Interceptor: drop})
+	if err := h.engines[0].Update(context.Background(), h.peers[0], "k", -25); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.amounts(t); got[0] != 75 || got[1] != 75 {
+		t.Fatalf("amounts = %v", got)
+	}
+	if h.engines[0].Stats().DecisionRetries.Load() == 0 {
+		t.Fatal("DecisionRetries not counted")
+	}
+}
+
+// decisionDropper drops the first `remaining` IUDecision requests.
+type decisionDropper struct {
+	mu        sync.Mutex
+	remaining int
+}
+
+func (d *decisionDropper) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kind) transport.Fault {
+	if isReply || kind != wire.KindIUDecision {
+		return transport.Fault{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.remaining > 0 {
+		d.remaining--
+		return transport.Fault{Drop: true}
+	}
+	return transport.Fault{}
 }

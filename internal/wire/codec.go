@@ -27,6 +27,9 @@ var (
 	// ErrBadVersion reports an envelope from a newer (or corrupted) codec
 	// revision than this build understands.
 	ErrBadVersion = errors.New("wire: unsupported envelope version")
+	// ErrNonCanonical reports an optional field encoded with its default
+	// value; the canonical encoding omits it entirely.
+	ErrNonCanonical = errors.New("wire: non-canonical optional field")
 )
 
 // appendUvarint appends v to b in unsigned varint encoding.

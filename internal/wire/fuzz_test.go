@@ -23,6 +23,11 @@ func fuzzSeeds() []*Envelope {
 		&Read{Key: "product-0004"},
 		&ReadReply{OK: true, Value: 1234},
 		&SyncPull{},
+		&AVRequest{Key: "product-0001", Amount: 25, Xfer: 0x700000001},
+		&Ping{},
+		&Pong{},
+		&AVSettle{Xfer: 0x700000001, Cancel: true},
+		&AVSettleAck{Xfer: 0x700000001, Amount: 10},
 	}
 	envs := make([]*Envelope, 0, len(msgs)+1)
 	for i, m := range msgs {

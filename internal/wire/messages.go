@@ -40,6 +40,15 @@ const (
 	// Pull-based convergence: ask a peer to hand over the deltas it has
 	// not yet pushed to us (reply is a DeltaSync).
 	KindSyncPull
+
+	// Failure detection: lightweight liveness probes between peers.
+	KindPing
+	KindPong
+
+	// Escrowed AV transfer resolution: the requester settles (keeps) or
+	// cancels (returns) a grant the granter parked in escrow.
+	KindAVSettle
+	KindAVSettleAck
 )
 
 var kindNames = map[Kind]string{
@@ -56,6 +65,10 @@ var kindNames = map[Kind]string{
 	KindRead:          "read",
 	KindReadReply:     "read.reply",
 	KindSyncPull:      "sync.pull",
+	KindPing:          "ping",
+	KindPong:          "pong",
+	KindAVSettle:      "av.settle",
+	KindAVSettleAck:   "av.settle.ack",
 }
 
 // String returns the dotted metric name for the kind ("av.request", ...).
@@ -87,9 +100,17 @@ type AVInfo struct {
 
 // AVRequest asks the receiver to transfer AV for Key. Amount is the
 // shortage the requester still needs (the SODA'99 "deciding" output).
+//
+// Xfer, when nonzero, is a requester-unique transfer ID asking the
+// granter to park the grant in escrow until the requester settles or
+// cancels it (AVSettle) — the recoverable-transfer protocol that keeps
+// the AV sum conserved when replies are lost. Zero keeps the original
+// fire-and-forget transfer and encodes byte-identically to the legacy
+// format.
 type AVRequest struct {
 	Key    string
 	Amount int64
+	Xfer   uint64
 }
 
 // Kind implements Message.
@@ -97,14 +118,28 @@ func (*AVRequest) Kind() Kind { return KindAVRequest }
 
 func (m *AVRequest) encode(b []byte) []byte {
 	b = appendString(b, m.Key)
-	return appendVarint(b, m.Amount)
+	b = appendVarint(b, m.Amount)
+	if m.Xfer != 0 {
+		b = appendUvarint(b, m.Xfer)
+	}
+	return b
 }
 
 func (m *AVRequest) decode(r *reader) (err error) {
 	if m.Key, err = r.str(); err != nil {
 		return err
 	}
-	m.Amount, err = r.varint()
+	if m.Amount, err = r.varint(); err != nil {
+		return err
+	}
+	if r.remaining() > 0 {
+		if m.Xfer, err = r.uvarint(); err != nil {
+			return err
+		}
+		if m.Xfer == 0 {
+			return ErrNonCanonical
+		}
+	}
 	return err
 }
 
@@ -465,6 +500,77 @@ func (m *SyncPull) encode(b []byte) []byte { return b }
 
 func (m *SyncPull) decode(r *reader) error { return nil }
 
+// Ping is a liveness probe; the receiver answers with a Pong. The
+// failure detector feeds round-trip outcomes into per-peer suspicion.
+type Ping struct{}
+
+// Kind implements Message.
+func (*Ping) Kind() Kind { return KindPing }
+
+func (m *Ping) encode(b []byte) []byte { return b }
+
+func (m *Ping) decode(r *reader) error { return nil }
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// Kind implements Message.
+func (*Pong) Kind() Kind { return KindPong }
+
+func (m *Pong) encode(b []byte) []byte { return b }
+
+func (m *Pong) decode(r *reader) error { return nil }
+
+// AVSettle resolves an escrowed AV transfer identified by Xfer. With
+// Cancel false the requester acknowledges it received (and credited)
+// the grant, so the granter destroys its escrow ledger entry; with
+// Cancel true the requester never saw the grant, so the granter
+// refunds the escrow back into its own available volume.
+type AVSettle struct {
+	Xfer   uint64
+	Cancel bool
+}
+
+// Kind implements Message.
+func (*AVSettle) Kind() Kind { return KindAVSettle }
+
+func (m *AVSettle) encode(b []byte) []byte {
+	b = appendUvarint(b, m.Xfer)
+	return appendBool(b, m.Cancel)
+}
+
+func (m *AVSettle) decode(r *reader) (err error) {
+	if m.Xfer, err = r.uvarint(); err != nil {
+		return err
+	}
+	m.Cancel, err = r.boolean()
+	return err
+}
+
+// AVSettleAck confirms an AVSettle. Amount is the escrowed volume the
+// granter resolved (0 when the transfer was unknown — e.g. already
+// settled by an earlier duplicate).
+type AVSettleAck struct {
+	Xfer   uint64
+	Amount int64
+}
+
+// Kind implements Message.
+func (*AVSettleAck) Kind() Kind { return KindAVSettleAck }
+
+func (m *AVSettleAck) encode(b []byte) []byte {
+	b = appendUvarint(b, m.Xfer)
+	return appendVarint(b, m.Amount)
+}
+
+func (m *AVSettleAck) decode(r *reader) (err error) {
+	if m.Xfer, err = r.uvarint(); err != nil {
+		return err
+	}
+	m.Amount, err = r.varint()
+	return err
+}
+
 // newMessage returns a zero value of the concrete type for kind.
 func newMessage(k Kind) (Message, error) {
 	switch k {
@@ -494,6 +600,14 @@ func newMessage(k Kind) (Message, error) {
 		return &ReadReply{}, nil
 	case KindSyncPull:
 		return &SyncPull{}, nil
+	case KindPing:
+		return &Ping{}, nil
+	case KindPong:
+		return &Pong{}, nil
+	case KindAVSettle:
+		return &AVSettle{}, nil
+	case KindAVSettleAck:
+		return &AVSettleAck{}, nil
 	default:
 		return nil, ErrBadKind
 	}

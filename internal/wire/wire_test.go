@@ -41,6 +41,14 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&CentralReply{OK: false, NewValue: 0, Reason: "would go negative"},
 		&Read{Key: "k"},
 		&ReadReply{OK: true, Value: 314},
+		&AVRequest{Key: "p17", Amount: -42, Xfer: 1},
+		&AVRequest{Key: "p17", Amount: 7, Xfer: 0xABCDEF0123},
+		&Ping{},
+		&Pong{},
+		&AVSettle{Xfer: 42, Cancel: false},
+		&AVSettle{Xfer: 0xABCDEF0123, Cancel: true},
+		&AVSettleAck{Xfer: 42, Amount: 0},
+		&AVSettleAck{Xfer: 1, Amount: 99},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -48,6 +56,24 @@ func TestRoundTripAllMessages(t *testing.T) {
 		if !reflect.DeepEqual(normalize(got), normalize(m)) {
 			t.Errorf("%T round trip: got %#v want %#v", m, got, m)
 		}
+	}
+}
+
+// TestAVRequestXferOptionalField pins the compatibility contract of the
+// trailing Xfer field: a zero Xfer encodes byte-identically to the
+// legacy format (so healthy-path traffic is unchanged), and an
+// explicitly-encoded zero is rejected as non-canonical.
+func TestAVRequestXferOptionalField(t *testing.T) {
+	legacy := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3,
+		Msg: &AVRequest{Key: "p17", Amount: -42}})
+	withZero := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3,
+		Msg: &AVRequest{Key: "p17", Amount: -42, Xfer: 0}})
+	if !reflect.DeepEqual(legacy, withZero) {
+		t.Fatalf("zero Xfer changed the encoding:\nlegacy %x\n  zero %x", legacy, withZero)
+	}
+	// Hand-append an explicit zero varint for Xfer: must be rejected.
+	if _, err := DecodeEnvelope(append(append([]byte{}, legacy...), 0x00)); err == nil {
+		t.Fatal("explicit zero Xfer accepted")
 	}
 }
 
