@@ -9,6 +9,13 @@
 //	avsim -experiment table1
 //	avsim -experiment ablation-decide|ablation-select|scaling|mix|fault|all
 //	avsim -updates 10000 -items 100 -initial 1000 -seed 1 -csv out.csv
+//
+// The deterministic whole-cluster simulation (see internal/sim) is also
+// reachable here, so a failing sweep seed can be replayed outside the
+// test harness:
+//
+//	avsim -experiment sim -sim-seed 17            # replay one seed
+//	avsim -experiment sim -sim-seed 0 -sim-seeds 100  # sweep 100 seeds
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"avdb/internal/experiment"
 	"avdb/internal/metrics"
+	"avdb/internal/sim"
 	"avdb/internal/workload"
 )
 
@@ -36,8 +44,20 @@ func main() {
 		bcast   = flag.Bool("conventional-broadcast", false, "baseline maintains replicas synchronously")
 		csvPath = flag.String("csv", "", "also write the primary table as CSV to this file")
 		traceIn = flag.String("trace-in", "", "replay a recorded op trace instead of the synthetic workload")
+
+		simSeed  = flag.Uint64("sim-seed", 0, "sim: seed to run (reproduces a sweep failure exactly)")
+		simSeeds = flag.Int("sim-seeds", 0, "sim: sweep this many consecutive seeds starting at -sim-seed")
+		simTicks = flag.Int("sim-ticks", 0, "sim: workload operations per run (0 = default)")
 	)
 	flag.Parse()
+
+	if *exp == "sim" {
+		if err := runSim(*simSeed, *simSeeds, *simTicks); err != nil {
+			fmt.Fprintln(os.Stderr, "avsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiment.Config{
 		Sites:                 *sites,
@@ -202,4 +222,37 @@ func emit(tab *metrics.Table, csvPath string) error {
 	}
 	defer f.Close()
 	return tab.WriteCSV(f)
+}
+
+// runSim drives the deterministic whole-cluster simulation: a single
+// seed reproduction (the command a sweep failure report prints), or a
+// sweep of consecutive seeds with automatic schedule minimization.
+func runSim(seed uint64, seeds, ticks int) error {
+	cfg := sim.Config{Seed: seed, Ticks: ticks}
+	if seeds > 0 {
+		failures, err := sim.Sweep(cfg, seed, seeds, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if len(failures) > 0 {
+			return fmt.Errorf("sim: %d of %d seeds violated an invariant", len(failures), seeds)
+		}
+		fmt.Printf("sim: %d seeds clean starting at %d\n", seeds, seed)
+		return nil
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sim: seed %d: %d ops (%d commit / %d abort / %d unknown / %d rejected), %d fault steps, trace hash %016x\n",
+		res.Seed, res.Ops, res.Commits, res.Aborts, res.Unknown, res.Rejected, len(res.Script), res.TraceHash)
+	if res.Violation == nil {
+		return nil
+	}
+	minimized, mres, merr := sim.Minimize(cfg)
+	if merr != nil {
+		minimized, mres = res.Script, res
+	}
+	fmt.Print(sim.FormatFailure(seed, mres, minimized, len(res.Script)))
+	return fmt.Errorf("sim: seed %d violated an invariant", seed)
 }

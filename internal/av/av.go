@@ -23,6 +23,7 @@ package av
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -417,8 +418,8 @@ type Escrow struct {
 	N    int64
 }
 
-// PendingEscrows returns the unresolved outbound transfers (unordered),
-// for restart recovery and invariant checks.
+// PendingEscrows returns the unresolved outbound transfers, ordered by
+// transfer id, for restart recovery and invariant checks.
 func (t *Table) PendingEscrows() []Escrow {
 	t.xmu.Lock()
 	defer t.xmu.Unlock()
@@ -426,6 +427,7 @@ func (t *Table) PendingEscrows() []Escrow {
 	for x, rec := range t.xfers {
 		out = append(out, Escrow{Xfer: x, Key: rec.key, N: rec.n})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Xfer < out[j].Xfer })
 	return out
 }
 
@@ -462,7 +464,9 @@ func (t *Table) CompleteObligation(xfer uint64) error {
 	return nil
 }
 
-// Obligations returns the outstanding obligations (unordered).
+// Obligations returns the outstanding obligations, ordered by transfer
+// id so callers that iterate them (escrow reconciliation) behave
+// deterministically.
 func (t *Table) Obligations() []Obligation {
 	t.xmu.Lock()
 	defer t.xmu.Unlock()
@@ -470,6 +474,7 @@ func (t *Table) Obligations() []Obligation {
 	for _, ob := range t.obls {
 		out = append(out, ob)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Xfer < out[j].Xfer })
 	return out
 }
 

@@ -432,6 +432,17 @@ func (s *Store) Checkpoint() error {
 // writeSnapshot dumps balances, the escrow ledger, and the obligation
 // ledger atomically.
 func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64, escrows []av.Escrow, obls []av.Obligation) error {
+	out := encodeSnapshot(boundary, balances, escrows, obls)
+	tmp := filepath.Join(s.dir, snapTmp)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("avstore: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, snapName))
+}
+
+// encodeSnapshot renders the v2 snapshot format: magic, CRC32 of the
+// body, then boundary LSN, balances, escrows and obligations.
+func encodeSnapshot(boundary uint64, balances map[string]int64, escrows []av.Escrow, obls []av.Obligation) []byte {
 	keys := make([]string, 0, len(balances))
 	for k := range balances {
 		keys = append(keys, k)
@@ -468,11 +479,7 @@ func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64, escrow
 	out = append(out, snapMagic...)
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	out = append(out, body...)
-	tmp := filepath.Join(s.dir, snapTmp)
-	if err := os.WriteFile(tmp, out, 0o644); err != nil {
-		return fmt.Errorf("avstore: %w", err)
-	}
-	return os.Rename(tmp, filepath.Join(s.dir, snapName))
+	return out
 }
 
 // loadSnapshot reads the snapshot if present. Both the v1 format (balances
@@ -486,6 +493,13 @@ func (s *Store) loadSnapshot() (uint64, map[string]int64, []av.Escrow, []av.Obli
 	if err != nil {
 		return 0, nil, nil, nil, fmt.Errorf("avstore: %w", err)
 	}
+	return decodeSnapshot(data)
+}
+
+// decodeSnapshot parses a v1 or v2 snapshot blob. Corrupt input of any
+// shape must come back as ErrCorrupt, never a panic — the fuzz harness
+// holds it to that.
+func decodeSnapshot(data []byte) (uint64, map[string]int64, []av.Escrow, []av.Obligation, error) {
 	if len(data) < len(snapMagic)+4 {
 		return 0, nil, nil, nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
 	}

@@ -1,0 +1,228 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"avdb/internal/rng"
+)
+
+// model mirrors a Tree with a plain map plus a sorted key slice, the
+// obviously-correct reference the property test compares against.
+type model struct {
+	m map[string][]byte
+}
+
+func (md *model) put(k string, v []byte) bool {
+	_, existed := md.m[k]
+	md.m[k] = v
+	return existed
+}
+
+func (md *model) del(k string) bool {
+	_, existed := md.m[k]
+	delete(md.m, k)
+	return existed
+}
+
+func (md *model) sortedKeys() []string {
+	keys := make([]string, 0, len(md.m))
+	for k := range md.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rangeKeys returns the model's keys in [from, to), with to=="" meaning
+// "to the end" — the same contract AscendRange documents.
+func (md *model) rangeKeys(from, to string) []string {
+	var keys []string
+	for _, k := range md.sortedKeys() {
+		if k < from {
+			continue
+		}
+		if to != "" && k >= to {
+			break
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// propKey draws from a bounded key space so repeated runs revisit the
+// same keys, forcing overwrite, delete-of-present, and the split/merge
+// churn that a sparse random space would almost never trigger.
+func propKey(r *rng.Rand, space int) string {
+	return fmt.Sprintf("key-%04d", r.Intn(space))
+}
+
+// checkAgainstModel verifies every read path of the tree against the
+// model: Len, Get (present and absent), full Ascend order, Min/Max,
+// random AscendRange windows, and the Iterator.
+func checkAgainstModel(t *testing.T, tr *Tree, md *model, r *rng.Rand, space int) {
+	t.Helper()
+
+	keys := md.sortedKeys()
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len() = %d, model has %d keys", tr.Len(), len(keys))
+	}
+
+	// Full scan must yield exactly the sorted model contents.
+	i := 0
+	tr.Ascend(func(k string, v []byte) bool {
+		if i >= len(keys) {
+			t.Fatalf("Ascend yielded extra key %q after %d expected entries", k, len(keys))
+		}
+		if k != keys[i] {
+			t.Fatalf("Ascend[%d] = %q, want %q", i, k, keys[i])
+		}
+		if !bytes.Equal(v, md.m[k]) {
+			t.Fatalf("Ascend value for %q = %q, want %q", k, v, md.m[k])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("Ascend yielded %d entries, want %d", i, len(keys))
+	}
+
+	// Point reads: every present key, plus a few absent probes.
+	for _, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || !bytes.Equal(v, md.m[k]) {
+			t.Fatalf("Get(%q) = %q, %v; want %q, true", k, v, ok, md.m[k])
+		}
+	}
+	for j := 0; j < 8; j++ {
+		k := propKey(r, space)
+		v, ok := tr.Get(k)
+		_, want := md.m[k]
+		if ok != want {
+			t.Fatalf("Get(%q) present = %v, model says %v", k, ok, want)
+		}
+		if ok && !bytes.Equal(v, md.m[k]) {
+			t.Fatalf("Get(%q) = %q, want %q", k, v, md.m[k])
+		}
+	}
+
+	min, okMin := tr.Min()
+	max, okMax := tr.Max()
+	if okMin != (len(keys) > 0) || okMax != (len(keys) > 0) {
+		t.Fatalf("Min/Max ok = %v/%v with %d keys", okMin, okMax, len(keys))
+	}
+	if len(keys) > 0 && (min != keys[0] || max != keys[len(keys)-1]) {
+		t.Fatalf("Min/Max = %q/%q, want %q/%q", min, max, keys[0], keys[len(keys)-1])
+	}
+
+	// Random range windows, including inverted (from > to) and
+	// out-of-space bounds; to=="" exercises the open-ended scan.
+	for j := 0; j < 8; j++ {
+		from := propKey(r, space+10)
+		to := propKey(r, space+10)
+		if r.Bool(0.2) {
+			to = ""
+		}
+		want := md.rangeKeys(from, to)
+		var got []string
+		tr.AscendRange(from, to, func(k string, v []byte) bool {
+			got = append(got, k)
+			if !bytes.Equal(v, md.m[k]) {
+				t.Fatalf("AscendRange value for %q = %q, want %q", k, v, md.m[k])
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("AscendRange(%q, %q) yielded %d keys, want %d", from, to, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("AscendRange(%q, %q)[%d] = %q, want %q", from, to, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Iterator from a random start must walk the same suffix Ascend
+	// would, and stay Valid exactly while entries remain.
+	from := propKey(r, space+10)
+	want := md.rangeKeys(from, "")
+	it := tr.IterFrom(from)
+	for i, k := range want {
+		if !it.Valid() {
+			t.Fatalf("IterFrom(%q) exhausted after %d entries, want %d", from, i, len(want))
+		}
+		if it.Key() != k {
+			t.Fatalf("IterFrom(%q) entry %d = %q, want %q", from, i, it.Key(), k)
+		}
+		if !bytes.Equal(it.Value(), md.m[k]) {
+			t.Fatalf("IterFrom(%q) value for %q = %q, want %q", from, k, it.Value(), md.m[k])
+		}
+		it.Next()
+	}
+	if it.Valid() {
+		t.Fatalf("IterFrom(%q) still valid at %q after %d expected entries", from, it.Key(), len(want))
+	}
+
+	// Early stop: fn returning false must halt the scan immediately.
+	if len(keys) > 1 {
+		seen := 0
+		tr.Ascend(func(string, []byte) bool {
+			seen++
+			return seen < 2
+		})
+		if seen != 2 {
+			t.Fatalf("Ascend early stop saw %d entries, want 2", seen)
+		}
+	}
+}
+
+// TestTreeMatchesModel drives random Put/Delete churn over a bounded
+// key space across several seeds and verifies every read path against
+// a sorted-map model between batches. The key space (~3× the expected
+// live size) keeps the tree splitting and merging constantly.
+func TestTreeMatchesModel(t *testing.T) {
+	const (
+		space   = 600
+		batches = 20
+		opsPer  = 400
+	)
+	seeds := []uint64{0, 1, 2, 0xDEADBEEF}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rng.New(seed)
+			tr := &Tree{}
+			md := &model{m: map[string][]byte{}}
+			for b := 0; b < batches; b++ {
+				for o := 0; o < opsPer; o++ {
+					k := propKey(r, space)
+					if r.Bool(0.6) {
+						v := []byte(fmt.Sprintf("v-%d-%d-%s", b, o, k))
+						if tr.Put(k, v) != md.put(k, v) {
+							t.Fatalf("Put(%q) existed-vs-new disagrees with model", k)
+						}
+					} else {
+						if tr.Delete(k) != md.del(k) {
+							t.Fatalf("Delete(%q) present-vs-absent disagrees with model", k)
+						}
+					}
+				}
+				checkAgainstModel(t, tr, md, r, space)
+			}
+			// Drain to empty through the delete path and check the
+			// empty-tree behaviour of every reader.
+			for _, k := range md.sortedKeys() {
+				if !tr.Delete(k) {
+					t.Fatalf("drain: Delete(%q) reported absent", k)
+				}
+				md.del(k)
+			}
+			checkAgainstModel(t, tr, md, r, space)
+		})
+	}
+}

@@ -43,21 +43,41 @@ type LinkFaults struct {
 // concurrent use.
 type Injector struct {
 	mu       sync.Mutex
-	rnd      *rng.Rand
+	seed     uint64
+	streams  map[link]*rng.Rand
 	def      LinkFaults
 	perLink  map[link]*LinkFaults
 	severed  map[link]bool // one-way partitions: from -> to blocked
 	disabled bool
 }
 
-// NewInjector returns an injector drawing from a deterministic stream
-// seeded with seed. With no further configuration it injects nothing.
+// NewInjector returns an injector drawing from deterministic streams
+// seeded with seed. Each directed link has its own stream (derived from
+// the seed and the link endpoints), so the fault decision for the Nth
+// message on a link depends only on N — never on how concurrent sends on
+// *other* links interleave. With no further configuration the injector
+// injects nothing.
 func NewInjector(seed uint64) *Injector {
 	return &Injector{
-		rnd:     rng.New(seed),
+		seed:    seed,
+		streams: make(map[link]*rng.Rand),
 		perLink: make(map[link]*LinkFaults),
 		severed: make(map[link]bool),
 	}
+}
+
+// stream returns the per-link rng, creating it deterministically from
+// the injector seed and the link endpoints on first use. Callers hold
+// inj.mu.
+func (inj *Injector) stream(l link) *rng.Rand {
+	r := inj.streams[l]
+	if r == nil {
+		r = rng.New(inj.seed ^
+			(uint64(l.from)+1)*0x9E3779B97F4A7C15 ^
+			(uint64(l.to)+1)*0xBF58476D1CE4E5B9)
+		inj.streams[l] = r
+	}
+	return r
 }
 
 // SetDefault sets the faults applied to every link without a per-link
@@ -145,14 +165,15 @@ func (inj *Injector) Intercept(from, to wire.SiteID, isReply bool, kind wire.Kin
 		f = lf
 	}
 	var out transport.Fault
+	rnd := inj.stream(link{from, to})
 	// Always consume the same number of draws per call so the stream
-	// position depends only on how many messages were intercepted, not on
-	// which faults are configured — reconfiguring mid-scenario (a script
-	// step changing drop rates) stays reproducible.
-	out.Drop = inj.rnd.Float64() < f.Drop
-	out.Duplicate = inj.rnd.Float64() < f.Duplicate
-	delayed := inj.rnd.Float64() < f.DelayProb
-	delayDraw := inj.rnd.Int63()
+	// position depends only on how many messages were intercepted on this
+	// link, not on which faults are configured — reconfiguring
+	// mid-scenario (a script step changing drop rates) stays reproducible.
+	out.Drop = rnd.Float64() < f.Drop
+	out.Duplicate = rnd.Float64() < f.Duplicate
+	delayed := rnd.Float64() < f.DelayProb
+	delayDraw := rnd.Int63()
 	if delayed && f.Delay > 0 {
 		out.Delay = time.Duration(delayDraw % (int64(f.Delay) + 1))
 	}

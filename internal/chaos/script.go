@@ -87,6 +87,45 @@ func NewScript(steps []Step) *Script {
 // Done reports whether every step has been applied.
 func (s *Script) Done() bool { return s.next >= len(s.steps) }
 
+// Steps returns a copy of the script's steps in application order. The
+// simulator's schedule minimizer uses this to re-run a failing scenario
+// with subsets of the original faults.
+func (s *Script) Steps() []Step {
+	return append([]Step(nil), s.steps...)
+}
+
+// String renders the step as a line Parse accepts.
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "at %d %s", s.At, s.Op)
+	switch s.Op {
+	case OpPartition:
+		for i, id := range s.Sites {
+			if i == s.GroupSplit {
+				b.WriteString(" |")
+			}
+			fmt.Fprintf(&b, " %d", id)
+		}
+	case OpDrop:
+		fmt.Fprintf(&b, " %s", strconv.FormatFloat(s.Prob, 'g', -1, 64))
+	default:
+		for _, id := range s.Sites {
+			fmt.Fprintf(&b, " %d", id)
+		}
+	}
+	return b.String()
+}
+
+// FormatSteps renders steps as script text that Parse round-trips.
+func FormatSteps(steps []Step) string {
+	var b strings.Builder
+	for _, st := range steps {
+		b.WriteString(st.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 // Advance applies every not-yet-applied step with At <= tick, in
 // order, against inj and env. It returns the number of steps applied
 // and the first error (later steps still run — a scenario should not

@@ -5,6 +5,7 @@
 package clock
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -104,4 +105,151 @@ func (v *Virtual) Pending() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return len(v.timers)
+}
+
+// NextDeadline returns the earliest pending timer deadline, if any.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	earliest := v.timers[0].at
+	for _, t := range v.timers[1:] {
+		if t.at.Before(earliest) {
+			earliest = t.at
+		}
+	}
+	return earliest, true
+}
+
+// AdvanceToNext jumps the clock to the earliest pending timer deadline
+// and fires every timer due at that instant, in deadline order. It
+// returns the new time and true, or the unchanged time and false when no
+// timer is pending. This is the primitive the deterministic simulator
+// uses: virtual time only ever moves to the next scheduled event.
+func (v *Virtual) AdvanceToNext() (time.Time, bool) {
+	v.mu.Lock()
+	if len(v.timers) == 0 {
+		now := v.now
+		v.mu.Unlock()
+		return now, false
+	}
+	earliest := v.timers[0].at
+	for _, t := range v.timers[1:] {
+		if t.at.Before(earliest) {
+			earliest = t.at
+		}
+	}
+	if earliest.After(v.now) {
+		v.now = earliest
+	}
+	now := v.now
+	var due, rest []*vtimer
+	for _, t := range v.timers {
+		if !t.at.After(now) {
+			due = append(due, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	v.timers = rest
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	v.mu.Unlock()
+	for _, t := range due {
+		t.ch <- now
+	}
+	return now, true
+}
+
+func (v *Virtual) newTimer(d time.Duration) *Timer {
+	v.mu.Lock()
+	t := &vtimer{at: v.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- v.now
+		v.mu.Unlock()
+		return &Timer{C: t.ch, stop: func() bool { return false }}
+	}
+	v.timers = append(v.timers, t)
+	v.mu.Unlock()
+	return &Timer{C: t.ch, stop: func() bool { return v.removeTimer(t) }}
+}
+
+func (v *Virtual) removeTimer(t *vtimer) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, x := range v.timers {
+		if x == t {
+			v.timers = append(v.timers[:i], v.timers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Timer is a stoppable one-shot timer bound to a Clock. Unlike After,
+// stopping a Timer removes it from a Virtual clock's pending set, which
+// keeps AdvanceToNext from wandering to deadlines nobody is waiting on.
+type Timer struct {
+	// C receives the clock's time once the timer fires.
+	C    <-chan time.Time
+	stop func() bool
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (false if it already fired or was stopped).
+func (t *Timer) Stop() bool {
+	if t == nil || t.stop == nil {
+		return false
+	}
+	return t.stop()
+}
+
+// NewTimer returns a stoppable timer on clk. A nil clk uses the real
+// clock.
+func NewTimer(clk Clock, d time.Duration) *Timer {
+	if v, ok := clk.(*Virtual); ok {
+		return v.newTimer(d)
+	}
+	rt := time.NewTimer(d)
+	return &Timer{C: rt.C, stop: rt.Stop}
+}
+
+// WithTimeout derives a context that is cancelled once d elapses on clk.
+// On the real clock it is exactly context.WithTimeout. On a virtual
+// clock the deadline is a virtual timer, and expiry is reported through
+// the context cause: use IsTimeout (or context.Cause) rather than
+// ctx.Err() to distinguish expiry from cancellation.
+func WithTimeout(parent context.Context, clk Clock, d time.Duration) (context.Context, context.CancelFunc) {
+	if clk == nil {
+		clk = Real{}
+	}
+	if _, ok := clk.(Real); ok {
+		return context.WithTimeout(parent, d)
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	t := NewTimer(clk, d)
+	go func() {
+		defer t.Stop()
+		select {
+		case <-t.C:
+			cancel(context.DeadlineExceeded)
+		case <-ctx.Done():
+		}
+	}()
+	// The returned cancel stops the timer synchronously (not via the
+	// watcher goroutine) so that the moment a caller is done, no timer of
+	// its remains pending — the simulator relies on pending virtual
+	// timers all being live.
+	return ctx, func() { t.Stop(); cancel(context.Canceled) }
+}
+
+// IsTimeout reports whether ctx ended because a deadline elapsed, either
+// a native context deadline or a virtual-clock deadline installed by
+// WithTimeout.
+func IsTimeout(ctx context.Context) bool {
+	if ctx.Err() == context.DeadlineExceeded {
+		return true
+	}
+	return context.Cause(ctx) == context.DeadlineExceeded
 }

@@ -1,0 +1,234 @@
+package clock
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestVirtualEdgeCases drives the virtual clock through the awkward
+// corners the simulator depends on: timers created while an Advance is
+// in flight, zero- and negative-duration After, and many concurrent
+// Advance callers.
+func TestVirtualEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, v *Virtual)
+	}{
+		{
+			name: "timer scheduled during Advance fires on a later Advance",
+			run: func(t *testing.T, v *Virtual) {
+				first := v.After(10 * time.Millisecond)
+				second := make(chan (<-chan time.Time), 1)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					<-first
+					// Scheduled from inside the firing of the first
+					// timer, i.e. concurrently with Advance.
+					second <- v.After(10 * time.Millisecond)
+				}()
+				v.Advance(10 * time.Millisecond)
+				<-done
+				ch := <-second
+				select {
+				case <-ch:
+					t.Fatal("second timer fired before its deadline")
+				default:
+				}
+				v.Advance(10 * time.Millisecond)
+				select {
+				case <-ch:
+				case <-time.After(time.Second):
+					t.Fatal("second timer never fired")
+				}
+			},
+		},
+		{
+			name: "zero duration After fires immediately without Advance",
+			run: func(t *testing.T, v *Virtual) {
+				before := v.Now()
+				select {
+				case at := <-v.After(0):
+					if !at.Equal(before) {
+						t.Fatalf("fired at %v, want %v", at, before)
+					}
+				default:
+					t.Fatal("After(0) did not fire immediately")
+				}
+				if v.Pending() != 0 {
+					t.Fatalf("Pending = %d, want 0", v.Pending())
+				}
+			},
+		},
+		{
+			name: "negative duration After fires immediately",
+			run: func(t *testing.T, v *Virtual) {
+				select {
+				case <-v.After(-time.Second):
+				default:
+					t.Fatal("After(-1s) did not fire immediately")
+				}
+			},
+		},
+		{
+			name: "concurrent Advance callers fire every timer exactly once",
+			run: func(t *testing.T, v *Virtual) {
+				const timers = 32
+				chans := make([]<-chan time.Time, timers)
+				for i := range chans {
+					chans[i] = v.After(time.Duration(i+1) * time.Millisecond)
+				}
+				var wg sync.WaitGroup
+				for i := 0; i < 8; i++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						v.Advance(5 * time.Millisecond)
+					}()
+				}
+				wg.Wait()
+				// 8 × 5ms = 40ms total: every timer is due.
+				for i, ch := range chans {
+					select {
+					case <-ch:
+					case <-time.After(time.Second):
+						t.Fatalf("timer %d never fired", i)
+					}
+					select {
+					case <-ch:
+						t.Fatalf("timer %d fired twice", i)
+					default:
+					}
+				}
+				if v.Pending() != 0 {
+					t.Fatalf("Pending = %d, want 0", v.Pending())
+				}
+			},
+		},
+		{
+			name: "Advance by zero fires timers due exactly now",
+			run: func(t *testing.T, v *Virtual) {
+				ch := v.After(5 * time.Millisecond)
+				v.Advance(5 * time.Millisecond)
+				select {
+				case <-ch:
+				default:
+					t.Fatal("timer due exactly at the new now did not fire")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.run(t, NewVirtual(time.Unix(0, 0)))
+		})
+	}
+}
+
+func TestVirtualAdvanceToNext(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	if _, ok := v.AdvanceToNext(); ok {
+		t.Fatal("AdvanceToNext with no timers reported ok")
+	}
+	a := v.After(30 * time.Millisecond)
+	b := v.After(10 * time.Millisecond)
+	c := v.After(10 * time.Millisecond)
+	now, ok := v.AdvanceToNext()
+	if !ok {
+		t.Fatal("AdvanceToNext found no timer")
+	}
+	if want := time.Unix(0, 0).Add(10 * time.Millisecond); !now.Equal(want) {
+		t.Fatalf("advanced to %v, want %v", now, want)
+	}
+	for name, ch := range map[string]<-chan time.Time{"b": b, "c": c} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("timer %s due at the earliest deadline did not fire", name)
+		}
+	}
+	select {
+	case <-a:
+		t.Fatal("later timer fired early")
+	default:
+	}
+	if now, ok = v.AdvanceToNext(); !ok || !now.Equal(time.Unix(0, 0).Add(30*time.Millisecond)) {
+		t.Fatalf("second AdvanceToNext = %v, %v", now, ok)
+	}
+	select {
+	case <-a:
+	default:
+		t.Fatal("remaining timer did not fire")
+	}
+}
+
+func TestVirtualTimerStop(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tm := NewTimer(v, 10*time.Millisecond)
+	if v.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", v.Pending())
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if v.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d, want 0", v.Pending())
+	}
+	if _, ok := v.AdvanceToNext(); ok {
+		t.Fatal("stopped timer still visible to AdvanceToNext")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+}
+
+func TestWithTimeoutVirtual(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ctx, cancel := WithTimeout(context.Background(), v, 50*time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+		t.Fatal("context done before the virtual deadline")
+	default:
+	}
+	v.Advance(50 * time.Millisecond)
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("context never expired after Advance")
+	}
+	if !IsTimeout(ctx) {
+		t.Fatalf("IsTimeout = false after expiry, cause %v", context.Cause(ctx))
+	}
+
+	// Cancellation before expiry must not read as a timeout and must
+	// release the pending virtual timer.
+	ctx2, cancel2 := WithTimeout(context.Background(), v, time.Hour)
+	cancel2()
+	<-ctx2.Done()
+	if IsTimeout(ctx2) {
+		t.Fatal("cancelled context reported as timeout")
+	}
+	deadline := time.Now().Add(time.Second)
+	for v.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled WithTimeout left %d pending timers", v.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWithTimeoutReal(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), Real{}, time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("real-clock timeout never expired")
+	}
+	if !IsTimeout(ctx) {
+		t.Fatal("IsTimeout = false for an expired real-clock context")
+	}
+}

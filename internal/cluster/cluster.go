@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"avdb/internal/chaos"
+	"avdb/internal/clock"
 	"avdb/internal/core"
+	"avdb/internal/eventlog"
 	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/site"
@@ -22,6 +24,7 @@ import (
 	"avdb/internal/trace"
 	"avdb/internal/transport"
 	"avdb/internal/transport/memnet"
+	"avdb/internal/twopc"
 	"avdb/internal/wire"
 )
 
@@ -83,6 +86,21 @@ type Config struct {
 	// EscrowTransfers makes remote AV grants crash-safe escrowed
 	// transfers on every site.
 	EscrowTransfers bool
+	// Clock, when non-nil, drives every timer in the cluster — network
+	// delivery and call timeouts, 2PC deadlines, flush deadlines, sweeps.
+	// The deterministic simulator passes a *clock.Virtual; nil keeps the
+	// real clock.
+	Clock clock.Clock
+	// EventsFor, when non-nil, supplies each site's event log (the
+	// simulator hashes these into its reproducibility trace).
+	EventsFor func(site int) *eventlog.Log
+	// XferSalt, when non-zero, makes escrow transfer ids deterministic;
+	// the cluster mixes in the site id and a per-site restart epoch so
+	// ids stay unique across restarts. Zero keeps wall-clock entropy.
+	XferSalt uint64
+	// TxnObserver, when non-nil, receives every locally applied 2PC
+	// outcome cluster-wide.
+	TxnObserver func(twopc.Outcome)
 }
 
 // Cluster is a running multi-site system.
@@ -97,8 +115,9 @@ type Cluster struct {
 	RegularKeys    []string
 	NonRegularKeys []string
 
-	mu   sync.Mutex
-	down map[int]bool // crashed sites (durable clusters only)
+	mu     sync.Mutex
+	down   map[int]bool // crashed sites (durable clusters only)
+	epochs map[int]int  // per-site restart count, salts transfer ids
 }
 
 // KeyName returns the catalog key for item i.
@@ -119,6 +138,7 @@ func New(cfg Config) (*Cluster, error) {
 		Cfg:      cfg,
 		Registry: cfg.Registry,
 		down:     make(map[int]bool),
+		epochs:   make(map[int]int),
 		Net: memnet.New(memnet.Options{
 			Registry:           cfg.Registry,
 			Latency:            cfg.Latency,
@@ -126,6 +146,7 @@ func New(cfg Config) (*Cluster, error) {
 			Tracer:             cfg.Tracer,
 			Interceptor:        cfg.Interceptor,
 			RetransmitInterval: cfg.RetransmitInterval,
+			Clock:              cfg.Clock,
 		}),
 	}
 
@@ -219,6 +240,8 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		Demand:            demand,
 		DisableGossip:     cfg.DisableGossip,
 		Tracer:            cfg.Tracer,
+		Clock:             cfg.Clock,
+		TxnObserver:       cfg.TxnObserver,
 		LockTimeout:       cfg.LockTimeout,
 		RequestTimeout:    cfg.RequestTimeout,
 		PrepareTimeout:    cfg.PrepareTimeout,
@@ -229,6 +252,19 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		FlushPeerTimeout:  cfg.FlushPeerTimeout,
 		FlushBackoff:      cfg.FlushBackoff,
 		EscrowTransfers:   cfg.EscrowTransfers,
+	}
+	if cfg.EventsFor != nil {
+		sc.Events = cfg.EventsFor(id)
+	}
+	c.mu.Lock()
+	epoch := c.epochs[id]
+	c.mu.Unlock()
+	// A reborn site must never re-mint an id a previous life used:
+	// granters tombstone resolved transfer ids, and participants may
+	// still hold the old incarnation's transactions.
+	sc.TxnIDEpoch = uint64(epoch)
+	if cfg.XferSalt != 0 {
+		sc.XferSalt = cfg.XferSalt ^ ((uint64(id) + 1) << 32) ^ (uint64(epoch) + 1)
 	}
 	if cfg.Dir != "" {
 		sc.StorageDir = filepath.Join(cfg.Dir, fmt.Sprintf("site-%d", id))
@@ -268,6 +304,7 @@ func (c *Cluster) RestartSite(idx int) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: site %d is not down", idx)
 	}
+	c.epochs[idx]++ // the reborn site mints transfer ids from a new salt
 	c.mu.Unlock()
 	s, err := site.Reopen(c.siteConfig(idx), c.Net)
 	if err != nil {

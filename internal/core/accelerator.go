@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"avdb/internal/av"
+	"avdb/internal/clock"
 	"avdb/internal/failure"
 	"avdb/internal/replica"
 	"avdb/internal/rng"
@@ -89,6 +90,13 @@ type Config struct {
 	// default; the healthy-path experiments are byte-identical without
 	// it.
 	Escrow bool
+	// Clock drives AV transfer call timeouts (nil means the real clock).
+	Clock clock.Clock
+	// XferSalt, when non-zero, seeds the transfer-id counter base instead
+	// of wall-clock entropy, making transfer ids deterministic. The salt
+	// must differ across a site's restarts (the simulator mixes a restart
+	// epoch in) because granters tombstone resolved ids.
+	XferSalt uint64
 }
 
 // DemandObserver receives the site's own consumption stream.
@@ -142,6 +150,15 @@ func New(cfg Config, avt AVTable, tm *txn.Manager, iu *twopc.Engine, repl *repli
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Second
 	}
+	xferBase := uint64(time.Now().UnixNano()) & (1<<40 - 1)
+	if cfg.XferSalt != 0 {
+		// Deterministic base: a splitmix64 finalization of the salt, so
+		// nearby salts (site/epoch increments) land far apart.
+		z := cfg.XferSalt + 0x9E3779B97F4A7C15
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		xferBase = (z ^ (z >> 31)) & (1<<40 - 1)
+	}
 	return &Accelerator{
 		cfg:      cfg,
 		avt:      avt,
@@ -150,7 +167,7 @@ func New(cfg Config, avt AVTable, tm *txn.Manager, iu *twopc.Engine, repl *repli
 		iu:       iu,
 		repl:     repl,
 		rnd:      rng.New(cfg.Seed ^ (uint64(cfg.Site) << 32)),
-		xferBase: uint64(time.Now().UnixNano()) & (1<<40 - 1),
+		xferBase: xferBase,
 	}
 }
 
@@ -307,7 +324,7 @@ func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64)
 				xfer = a.nextXfer()
 				msg.Xfer = xfer
 			}
-			cctx, cancel := context.WithTimeout(ctx, a.cfg.RequestTimeout)
+			cctx, cancel := clock.WithTimeout(ctx, a.cfg.Clock, a.cfg.RequestTimeout)
 			reply, err := a.node.Call(cctx, c.Site, msg)
 			cancel()
 			rounds++
@@ -406,7 +423,7 @@ func (a *Accelerator) Reconcile(ctx context.Context) (int, error) {
 	var firstErr error
 	remaining := 0
 	for _, ob := range obls {
-		cctx, cancel := context.WithTimeout(ctx, a.cfg.RequestTimeout)
+		cctx, cancel := clock.WithTimeout(ctx, a.cfg.Clock, a.cfg.RequestTimeout)
 		reply, err := a.node.Call(cctx, wire.SiteID(ob.Peer), &wire.AVSettle{Xfer: ob.Xfer, Cancel: ob.Cancel})
 		cancel()
 		if err != nil {

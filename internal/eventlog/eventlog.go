@@ -39,6 +39,7 @@ type Log struct {
 	subs  map[int]chan Event
 	nextS int
 	total uint64
+	now   func() time.Time
 }
 
 // New creates a log keeping the most recent capacity events
@@ -50,12 +51,29 @@ func New(capacity int) *Log {
 	return &Log{buf: make([]Event, capacity), subs: make(map[int]chan Event)}
 }
 
+// SetNow replaces the time source used to stamp events appended with a
+// zero Time (default: time.Now). The deterministic simulator points it
+// at a virtual clock so event timestamps are in simulated time. Call
+// before the log is shared.
+func (l *Log) SetNow(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
 // Append records an event, evicting the oldest when full, and fans it
 // out to subscribers (dropping for any subscriber whose buffer is full
 // — observability must never block the data path).
 func (l *Log) Append(e Event) {
 	if e.Time.IsZero() {
-		e.Time = time.Now()
+		l.mu.Lock()
+		now := l.now
+		l.mu.Unlock()
+		if now != nil {
+			e.Time = now()
+		} else {
+			e.Time = time.Now()
+		}
 	}
 	l.mu.Lock()
 	if l.count < len(l.buf) {

@@ -112,10 +112,12 @@ func (r *Retrier) Do(ctx context.Context, fn func(ctx context.Context) error) er
 		wait := r.jittered(r.policy.Backoff(n))
 		if wait > 0 {
 			r.Retries.Inc()
+			t := clock.NewTimer(r.clock, wait)
 			select {
 			case <-ctx.Done():
+				t.Stop() // an abandoned wait must not linger on a virtual clock
 				return ctx.Err()
-			case <-r.clock.After(wait):
+			case <-t.C:
 			}
 		} else {
 			r.Retries.Inc()

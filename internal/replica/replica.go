@@ -439,15 +439,18 @@ func (r *Replicator) Flush(ctx context.Context, node transport.Node, peers []wir
 			cctx := ctx
 			r.fmu.Lock()
 			timeout := r.flushTimeout
+			clk := r.flushClock
 			r.fmu.Unlock()
+			cancel := context.CancelFunc(func() {})
 			if timeout > 0 {
 				// Per-peer deadline: one slow peer bounds only its own
 				// exchange, never the whole fan-out.
-				var cancel context.CancelFunc
-				cctx, cancel = context.WithTimeout(ctx, timeout)
-				defer cancel()
+				cctx, cancel = clock.WithTimeout(ctx, clk, timeout)
 			}
 			reply, err := node.Call(cctx, j.peer, j.msg)
+			// Cancelled eagerly, not deferred: a finished exchange must not
+			// leave its deadline timer pending on a virtual clock.
+			cancel()
 			if err != nil {
 				// Partition or crash: keep the backlog, back the peer off,
 				// try again later. This is the fault tolerance claim: Delay

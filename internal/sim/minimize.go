@@ -1,0 +1,69 @@
+// Schedule minimization: shrink a failing fault script to a minimal one
+// that still trips an oracle, so a failure report names the few faults
+// that matter instead of the whole generated schedule.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"avdb/internal/chaos"
+)
+
+// Minimize re-runs cfg with ever-smaller subsets of its fault script
+// (cfg.Script, or the schedule generated from cfg.Seed when nil) and
+// returns the smallest script that still produces a violation, together
+// with that run's Result. It is a one-at-a-time ddmin: each pass tries
+// dropping every step individually and keeps a drop when the failure
+// persists, repeating to a fixed point. Subsets the scheduler cannot
+// apply — a restart whose crash was dropped — are skipped, which is why
+// crash/restart pairs shrink restart-first across passes.
+func Minimize(cfg Config) ([]chaos.Step, Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Script == nil {
+		cfg.Script = GenSteps(cfg.Seed, cfg.Sites, int64(cfg.Ticks))
+	}
+	cur := append([]chaos.Step(nil), cfg.Script...)
+	cfg.Script = cur
+	best, err := Run(cfg)
+	if err != nil {
+		return cur, best, err
+	}
+	if best.Violation == nil {
+		return cur, best, fmt.Errorf("sim: seed %d does not fail with the given script", cfg.Seed)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			trial := make([]chaos.Step, 0, len(cur)-1)
+			trial = append(append(trial, cur[:i]...), cur[i+1:]...)
+			cfg.Script = trial
+			res, err := Run(cfg)
+			if err != nil || res.Violation == nil {
+				continue
+			}
+			cur, best = trial, res
+			changed = true
+			i--
+		}
+	}
+	return cur, best, nil
+}
+
+// FormatFailure renders a reproducible failure report: the violation,
+// the minimized fault script (in chaos.Parse syntax), and the command
+// that replays it.
+func FormatFailure(seed uint64, res Result, minimized []chaos.Step, originalSteps int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: seed %d FAILED: %v\n", seed, res.Violation)
+	fmt.Fprintf(&b, "minimized fault script (%d -> %d steps):\n", originalSteps, len(minimized))
+	if len(minimized) == 0 {
+		b.WriteString("  (empty — the failure does not depend on any injected fault)\n")
+	} else {
+		for _, line := range strings.Split(strings.TrimRight(chaos.FormatSteps(minimized), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "reproduce: go run ./cmd/avsim -experiment sim -sim-seed %d\n", seed)
+	return b.String()
+}

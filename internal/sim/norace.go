@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// stabilityWindow is how long the pending-timer set must hold still
+// (network settled in between) before the scheduler trusts that every
+// pending virtual timer is live and advances to the earliest one.
+const stabilityWindow = 500_000 // 500µs in nanoseconds

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// Under the race detector goroutine scheduling is an order of magnitude
+// slower, so the scheduler's stability window must widen accordingly or
+// a descheduled goroutine's about-to-be-stopped timer can be mistaken
+// for a genuinely pending one.
+const stabilityWindow = 5_000_000 // 5ms in nanoseconds

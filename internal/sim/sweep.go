@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"avdb/internal/chaos"
+)
+
+// Failure is one seed's minimized failure from a sweep.
+type Failure struct {
+	Seed      uint64
+	Violation *Violation
+	Steps     []chaos.Step // the full generated schedule
+	Minimized []chaos.Step // the smallest schedule that still fails
+	Report    string
+}
+
+// Sweep runs n consecutive seeds starting at start, minimizes every
+// failing schedule, and writes progress plus one report per failure to
+// w (nil discards). The error return is for harness failures only;
+// oracle violations land in the returned slice.
+func Sweep(base Config, start uint64, n int, w io.Writer) ([]Failure, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	var failures []Failure
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Seed = start + uint64(i)
+		cfg.Script = nil
+		res, err := Run(cfg)
+		if err != nil {
+			return failures, fmt.Errorf("sim: sweep seed %d: %w", cfg.Seed, err)
+		}
+		if res.Violation == nil {
+			if (i+1)%50 == 0 || i == n-1 {
+				fmt.Fprintf(w, "sim: swept %d/%d seeds, %d failures\n", i+1, n, len(failures))
+			}
+			continue
+		}
+		minimized, mres, merr := Minimize(cfg)
+		if merr != nil {
+			// Keep the original failure even when minimization could not
+			// re-run it; a flaky shrink must not hide a real violation.
+			minimized, mres = res.Script, res
+		}
+		f := Failure{
+			Seed:      cfg.Seed,
+			Violation: mres.Violation,
+			Steps:     res.Script,
+			Minimized: minimized,
+			Report:    FormatFailure(cfg.Seed, mres, minimized, len(res.Script)),
+		}
+		failures = append(failures, f)
+		fmt.Fprint(w, f.Report)
+	}
+	return failures, nil
+}

@@ -95,6 +95,18 @@ type Config struct {
 	// that a crash can only shrink, never mint. Off by default; the
 	// healthy-path experiments are byte-identical without it.
 	EscrowTransfers bool
+	// XferSalt, when non-zero, makes escrow transfer ids deterministic
+	// instead of wall-clock seeded (see core.Config.XferSalt). It must
+	// differ across restarts of the same site.
+	XferSalt uint64
+	// TxnIDEpoch distinguishes this incarnation of the site's 2PC engine
+	// from previous ones, so a restarted coordinator never re-mints a
+	// transaction id it already used (see twopc.Options.IDEpoch).
+	TxnIDEpoch uint64
+	// TxnObserver, when non-nil, receives every locally applied 2PC
+	// outcome (see twopc.Options.Observer). The simulator's atomicity
+	// oracle hangs off this.
+	TxnObserver func(twopc.Outcome)
 }
 
 // Site is one running node.
@@ -154,6 +166,9 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Base:           cfg.Base,
 		PrepareTimeout: cfg.PrepareTimeout,
 		Tracer:         cfg.Tracer,
+		Clock:          cfg.Clock,
+		Observer:       cfg.TxnObserver,
+		IDEpoch:        cfg.TxnIDEpoch,
 	}, s.tm)
 	if cfg.StorageDir != "" {
 		// A durable engine needs durable replication state, or a restart
@@ -186,6 +201,8 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Tracer:         cfg.Tracer,
 		Detector:       s.det,
 		Escrow:         cfg.EscrowTransfers,
+		Clock:          cfg.Clock,
+		XferSalt:       cfg.XferSalt,
 	}, s.avt, s.tm, s.iu, s.repl)
 
 	node, err := network.Open(cfg.ID, s.handle)
@@ -298,7 +315,7 @@ func (s *Site) flushLoop() {
 		case <-s.stop:
 			return
 		case <-s.cfg.Clock.After(s.cfg.FlushInterval):
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FlushInterval)
+			ctx, cancel := clock.WithTimeout(context.Background(), s.cfg.Clock, s.cfg.FlushInterval)
 			_ = s.repl.Flush(ctx, s.node, s.cfg.Peers)
 			cancel()
 		}
@@ -316,7 +333,7 @@ func (s *Site) heartbeatLoop() {
 		case <-s.stop:
 			return
 		case <-s.cfg.Clock.After(s.cfg.HeartbeatInterval):
-			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HeartbeatInterval)
+			ctx, cancel := clock.WithTimeout(context.Background(), s.cfg.Clock, s.cfg.HeartbeatInterval)
 			s.Heartbeat(ctx)
 			cancel()
 		}
@@ -441,8 +458,9 @@ func (s *Site) ReadFresh(ctx context.Context, key string) (int64, error) {
 	return s.Read(key)
 }
 
-// Sweep aborts expired prepared 2PC transactions now.
-func (s *Site) Sweep() int { return s.iu.Sweep(time.Now()) }
+// Sweep aborts expired prepared 2PC transactions now, judged against the
+// site's own clock so sweeps are simulable on a virtual clock.
+func (s *Site) Sweep() int { return s.iu.Sweep(s.cfg.Clock.Now()) }
 
 // Maintain performs the periodic housekeeping a long-lived durable site
 // needs: compact the replication log past what every peer acknowledged,

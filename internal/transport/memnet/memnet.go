@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"avdb/internal/clock"
 	"avdb/internal/metrics"
 	"avdb/internal/trace"
 	"avdb/internal/wire"
@@ -53,6 +54,11 @@ type Options struct {
 	// handlers. Off by default: the healthy-path experiments count every
 	// message, and retransmission must not perturb them.
 	RetransmitInterval time.Duration
+	// Clock drives delayed delivery, the Call timeout fallback and
+	// retransmission. Nil means the real clock. The deterministic
+	// simulator passes a *clock.Virtual here so that every transport
+	// timer fires under the simulator's control.
+	Clock clock.Clock
 }
 
 // Net is an in-process network. The zero value is not usable; call New.
@@ -65,6 +71,15 @@ type Net struct {
 	crashed   map[wire.SiteID]bool
 	opens     uint64 // total Opens ever, for per-open seq epochs
 	deliverWG sync.WaitGroup
+
+	// act counts network activity: every scheduled delivery holds one
+	// token from the moment it is put on the wire until the receiver has
+	// fully processed it (reply matched, duplicate absorbed, or handler
+	// finished). Settle blocks until act reaches zero — the quiescence
+	// point the deterministic simulator advances virtual time at.
+	actMu   sync.Mutex
+	act     int
+	actCond *sync.Cond
 }
 
 // New creates an empty network.
@@ -75,12 +90,41 @@ func New(opts Options) *Net {
 	if opts.CallTimeout <= 0 {
 		opts.CallTimeout = 5 * time.Second
 	}
-	return &Net{
+	n := &Net{
 		opts:    opts,
 		nodes:   make(map[wire.SiteID]*node),
 		blocked: make(map[[2]wire.SiteID]bool),
 		crashed: make(map[wire.SiteID]bool),
 	}
+	n.actCond = sync.NewCond(&n.actMu)
+	return n
+}
+
+// actAdd takes k activity tokens (k may be negative to release).
+func (n *Net) actAdd(k int) {
+	n.actMu.Lock()
+	n.act += k
+	if n.act == 0 {
+		n.actCond.Broadcast()
+	}
+	n.actMu.Unlock()
+}
+
+// actDone releases one activity token.
+func (n *Net) actDone() { n.actAdd(-1) }
+
+// Settle blocks until no message is in flight and no inbound request is
+// still being handled. Handlers never make nested network calls and only
+// ever block on bounded real-time lock waits, so Settle always returns
+// in bounded real time; once it does, the only way the cluster can make
+// further progress is a timer firing — which is exactly when the
+// simulator advances its virtual clock.
+func (n *Net) Settle() {
+	n.actMu.Lock()
+	for n.act != 0 {
+		n.actCond.Wait()
+	}
+	n.actMu.Unlock()
 }
 
 // Open implements transport.Network.
@@ -216,11 +260,15 @@ func (n *Net) send(env *wire.Envelope) error {
 		crashed := n.crashed[env.To]
 		n.mu.RUnlock()
 		if !ok || crashed {
+			n.actDone()
 			return
 		}
 		select {
 		case dst.inbox <- raw:
+			// The activity token travels with the queued frame; the
+			// receiver's loop releases it once processing completes.
 		case <-dst.done:
+			n.actDone()
 		}
 	}
 	copies := 1
@@ -233,10 +281,15 @@ func (n *Net) send(env *wire.Envelope) error {
 	}
 	for i := 0; i < copies; i++ {
 		n.deliverWG.Add(1)
+		n.actAdd(1)
 		if d <= 0 {
 			deliver()
 		} else {
-			time.AfterFunc(d, deliver)
+			t := clock.NewTimer(n.opts.Clock, d)
+			go func() {
+				<-t.C
+				deliver()
+			}()
 		}
 	}
 	return nil
@@ -278,6 +331,7 @@ func (nd *node) loop() {
 		case raw := <-nd.inbox:
 			env, err := wire.DecodeEnvelope(raw)
 			if err != nil {
+				nd.net.actDone()
 				continue // corrupt frame: drop, as a real transport would
 			}
 			if env.IsReply {
@@ -286,7 +340,13 @@ func (nd *node) loop() {
 				delete(nd.pending, env.Seq)
 				nd.mu.Unlock()
 				if ch != nil {
+					// The activity token travels with the reply: the waiting
+					// call releases it only after stopping its retransmit and
+					// timeout timers, so a settled network never has a dead
+					// timer still pending on a virtual clock.
 					ch <- env.Msg
+				} else {
+					nd.net.actDone()
 				}
 				continue
 			}
@@ -301,9 +361,13 @@ func (nd *node) loop() {
 						_ = nd.net.send(out)
 					}
 				}
+				nd.net.actDone()
 				continue
 			}
-			go nd.serve(env)
+			go func() {
+				nd.serve(env)
+				nd.net.actDone()
+			}()
 		}
 	}
 }
@@ -365,10 +429,27 @@ func (nd *node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 	nd.pending[seq] = ch
 	nd.mu.Unlock()
 
-	unregister := func() {
+	// A matched reply arrives carrying its activity token; release it
+	// last, after the deferred timer stops below have run, so the network
+	// only reads as settled once this call's virtual timers are gone.
+	replyToken := false
+	defer func() {
+		if replyToken {
+			nd.net.actDone()
+		}
+	}()
+
+	// unregister withdraws seq and reports whether it was still pending;
+	// false means the node's loop already claimed it, so a reply (and its
+	// token) is in ch or about to be.
+	unregister := func() bool {
 		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		if _, ok := nd.pending[seq]; !ok {
+			return false
+		}
 		delete(nd.pending, seq)
-		nd.mu.Unlock()
+		return true
 	}
 
 	env := nd.envelope(ctx, to, seq, req)
@@ -380,32 +461,71 @@ func (nd *node) call(ctx context.Context, to wire.SiteID, req wire.Message) (wir
 
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, nd.net.opts.CallTimeout)
+		ctx, cancel = clock.WithTimeout(ctx, nd.net.opts.Clock, nd.net.opts.CallTimeout)
 		defer cancel()
 	}
 	// With retransmission enabled, re-send the same envelope (same seq)
 	// on an interval: the receiver dedups and replays its reply, so a
 	// dropped request or dropped reply heals within the Call window.
-	var retransmit <-chan time.Time
+	// Timers are stoppable so a completed call leaves nothing pending on
+	// a virtual clock.
+	var retransmit *clock.Timer
 	if nd.net.opts.RetransmitInterval > 0 {
-		t := time.NewTicker(nd.net.opts.RetransmitInterval)
-		defer t.Stop()
-		retransmit = t.C
+		retransmit = clock.NewTimer(nd.net.opts.Clock, nd.net.opts.RetransmitInterval)
+	}
+	defer func() {
+		if retransmit != nil {
+			retransmit.Stop()
+		}
+	}()
+	retransmitC := func() <-chan time.Time {
+		if retransmit == nil {
+			return nil
+		}
+		return retransmit.C
 	}
 	for {
 		select {
 		case reply := <-ch:
+			replyToken = true
 			return reply, nil
-		case <-retransmit:
+		case <-retransmitC():
+			// A reply may already be buffered when the tick fires; take
+			// it instead of re-sending, so whether a resend happens (and
+			// consumes fault-injector randomness) depends only on whether
+			// the reply had actually arrived, never on goroutine timing.
+			select {
+			case reply := <-ch:
+				replyToken = true
+				return reply, nil
+			default:
+			}
 			_ = nd.net.send(env) // best effort; the next tick tries again
+			retransmit = clock.NewTimer(nd.net.opts.Clock, nd.net.opts.RetransmitInterval)
 		case <-ctx.Done():
-			unregister()
-			if ctx.Err() == context.DeadlineExceeded {
+			select {
+			case reply := <-ch:
+				replyToken = true
+				return reply, nil
+			default:
+			}
+			if !unregister() {
+				// The loop claimed seq just as the deadline fired: the
+				// reply won; wait out its (non-blocking, buffered) arrival.
+				reply := <-ch
+				replyToken = true
+				return reply, nil
+			}
+			if clock.IsTimeout(ctx) {
 				return nil, transport.ErrTimeout
 			}
 			return nil, ctx.Err()
 		case <-nd.done:
-			unregister()
+			if !unregister() {
+				reply := <-ch
+				replyToken = true
+				return reply, nil
+			}
 			return nil, transport.ErrClosed
 		}
 	}
@@ -462,5 +582,14 @@ func (nd *node) Close() error {
 	nd.net.mu.Lock()
 	delete(nd.net.nodes, nd.id)
 	nd.net.mu.Unlock()
-	return nil
+	// Release the activity tokens of frames that were queued but never
+	// processed, so a crashed site cannot wedge Settle.
+	for {
+		select {
+		case <-nd.inbox:
+			nd.net.actDone()
+		default:
+			return nil
+		}
+	}
 }

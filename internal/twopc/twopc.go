@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"avdb/internal/clock"
 	"avdb/internal/failure"
 	"avdb/internal/storage"
 	"avdb/internal/trace"
@@ -81,6 +82,34 @@ type Options struct {
 	RetryBackoff failure.Policy
 	// Tracer records protocol spans (nil disables tracing).
 	Tracer *trace.Tracer
+	// Clock drives prepared-transaction deadlines, decision-retry backoff
+	// and remote call timeouts (nil means the real clock). The
+	// deterministic simulator passes a virtual clock.
+	Clock clock.Clock
+	// Observer, when non-nil, is invoked for every transaction outcome
+	// this engine applies locally (coordinator and participant roles).
+	// The simulator's atomicity oracle consumes these.
+	Observer func(Outcome)
+	// IDEpoch offsets this engine's transaction counter. A restarted
+	// engine starts counting from zero again, so a coordinator reborn
+	// from its WAL would re-mint the transaction ids of its previous
+	// life — and a participant still holding one of those ids prepared
+	// (or decided) would confuse the two transactions. Each incarnation
+	// must pass a fresh epoch; epoch e starts the counter at e<<32.
+	IDEpoch uint64
+}
+
+// Outcome is one locally applied transaction decision, as reported to
+// Options.Observer.
+type Outcome struct {
+	TxnID uint64
+	Site  wire.SiteID
+	Key   string // empty for decisions whose prepare this engine never saw
+	// Commit reports the applied outcome.
+	Commit bool
+	// Swept marks a presumed abort from the prepared-TTL sweep rather
+	// than an explicit decision message.
+	Swept bool
 }
 
 // Stats counts participant/coordinator outcomes; atomically updated.
@@ -116,6 +145,7 @@ type Engine struct {
 
 type preparedTxn struct {
 	tx       *txn.Txn
+	key      string
 	deadline time.Time
 }
 
@@ -141,12 +171,17 @@ func New(opts Options, tm *txn.Manager) *Engine {
 	if opts.RetryBackoff.MaxDelay <= 0 {
 		opts.RetryBackoff.MaxDelay = 250 * time.Millisecond
 	}
-	return &Engine{
+	if opts.Clock == nil {
+		opts.Clock = clock.Real{}
+	}
+	e := &Engine{
 		opts:     opts,
 		tm:       tm,
 		prepared: make(map[uint64]*preparedTxn),
 		decided:  make(map[uint64]bool),
 	}
+	e.next.Store(opts.IDEpoch << 32 & (1<<40 - 1))
+	return e
 }
 
 // SetNode attaches the transport endpoint (done after the network opens).
@@ -173,6 +208,13 @@ func (e *Engine) recordDecided(txnID uint64, commit bool) {
 // newTxnID builds a cluster-unique transaction ID.
 func (e *Engine) newTxnID() uint64 {
 	return uint64(e.opts.Site)<<40 | e.next.Add(1)
+}
+
+// observe reports a locally applied outcome to the configured observer.
+func (e *Engine) observe(txnID uint64, key string, commit, swept bool) {
+	if e.opts.Observer != nil {
+		e.opts.Observer(Outcome{TxnID: txnID, Site: e.opts.Site, Key: key, Commit: commit, Swept: swept})
+	}
 }
 
 // Update coordinates one Immediate Update of key by delta across peers
@@ -203,11 +245,14 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	votes := make(chan voteResult, len(peers))
 	for _, p := range peers {
 		go func(p wire.SiteID) {
-			cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
-			defer cancel()
+			cctx, cancel := clock.WithTimeout(ctx, e.opts.Clock, e.opts.PrepareTimeout)
 			reply, err := e.node.Call(cctx, p, &wire.IUPrepare{
 				TxnID: txnID, Coord: e.opts.Site, Key: key, Delta: delta,
 			})
+			// Cancel before reporting the vote: the vote may be the last
+			// act before the coordinator blocks, and no timer of a finished
+			// call may linger on a virtual clock.
+			cancel()
 			if err != nil {
 				votes <- voteResult{peer: p, ok: false, why: err.Error()}
 				return
@@ -220,12 +265,20 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 			votes <- voteResult{peer: p, ok: v.OK, why: v.Reason}
 		}(p)
 	}
+	// Collect every vote, then report the failing vote with the lowest
+	// site ID: the abort reason must not depend on which reply happened
+	// to arrive first.
 	allOK := true
 	var reason string
+	var failedPeer wire.SiteID
 	for range peers {
 		v := <-votes
-		if !v.ok && allOK {
+		if v.ok {
+			continue
+		}
+		if allOK || v.peer < failedPeer {
 			allOK = false
+			failedPeer = v.peer
 			reason = fmt.Sprintf("site %d: %s", v.peer, v.why)
 		}
 	}
@@ -233,6 +286,7 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	// Phase 2: decide.
 	if !allOK {
 		local.Abort()
+		e.observe(txnID, key, false, false)
 		e.stats.Aborts.Add(1)
 		e.broadcastDecision(ctx, peers, txnID, false, nil)
 		return fmt.Errorf("%w: %s", ErrAborted, reason)
@@ -240,10 +294,12 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	if err := local.Commit(); err != nil {
 		// Local commit of a validated, locked batch cannot fail in normal
 		// operation; treat it as a global abort to stay safe.
+		e.observe(txnID, key, false, false)
 		e.stats.Aborts.Add(1)
 		e.broadcastDecision(ctx, peers, txnID, false, nil)
 		return fmt.Errorf("%w: local commit: %v", ErrAborted, err)
 	}
+	e.observe(txnID, key, true, false)
 	baseAcked := e.opts.Base == e.opts.Site // self-ack when we host the base
 	e.broadcastDecision(ctx, peers, txnID, true, func(p wire.SiteID, ok bool) {
 		if p == e.opts.Base && ok {
@@ -273,7 +329,7 @@ func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txn
 			for attempt := 0; attempt <= e.opts.DecisionRetries; attempt++ {
 				if attempt > 0 {
 					e.stats.DecisionRetries.Add(1)
-					t := time.NewTimer(e.opts.RetryBackoff.Backoff(attempt - 1))
+					t := clock.NewTimer(e.opts.Clock, e.opts.RetryBackoff.Backoff(attempt-1))
 					select {
 					case <-ctx.Done():
 						t.Stop()
@@ -283,7 +339,7 @@ func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txn
 						break
 					}
 				}
-				cctx, cancel := context.WithTimeout(ctx, e.opts.PrepareTimeout)
+				cctx, cancel := clock.WithTimeout(ctx, e.opts.Clock, e.opts.PrepareTimeout)
 				reply, err := e.node.Call(cctx, p, &wire.IUDecision{TxnID: txnID, Commit: commit})
 				cancel()
 				if err != nil {
@@ -333,7 +389,17 @@ func (e *Engine) HandlePrepare(ctx context.Context, from wire.SiteID, msg *wire.
 		return &wire.IUVote{TxnID: msg.TxnID, OK: false, Reason: err.Error()}
 	}
 	e.mu.Lock()
-	e.prepared[msg.TxnID] = &preparedTxn{tx: tx, deadline: time.Now().Add(e.opts.PreparedTTL)}
+	if outcome, ok := e.decided[msg.TxnID]; ok {
+		// The decision overtook this prepare (the coordinator timed out
+		// while we waited for the lock and already broadcast abort).
+		// Registering now would hold the lock until the TTL sweep for a
+		// transaction that is long dead — release immediately instead.
+		e.mu.Unlock()
+		tx.Abort()
+		return &wire.IUVote{TxnID: msg.TxnID, OK: false,
+			Reason: fmt.Sprintf("txn already decided (commit=%v)", outcome)}
+	}
+	e.prepared[msg.TxnID] = &preparedTxn{tx: tx, key: msg.Key, deadline: e.opts.Clock.Now().Add(e.opts.PreparedTTL)}
 	e.mu.Unlock()
 	return &wire.IUVote{TxnID: msg.TxnID, OK: true}
 }
@@ -358,6 +424,13 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 			e.mu.Unlock()
 			return &wire.IUAck{TxnID: msg.TxnID, OK: outcome == msg.Commit}
 		}
+		if !msg.Commit {
+			// Record the presumed abort so a prepare still in flight (the
+			// decision can overtake it when the coordinator gave up while
+			// we waited on the lock) aborts itself instead of registering
+			// and pinning the lock until the TTL sweep.
+			e.recordDecided(msg.TxnID, false)
+		}
 		e.mu.Unlock()
 		return &wire.IUAck{TxnID: msg.TxnID, OK: !msg.Commit}
 	}
@@ -367,9 +440,11 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 		if err := p.tx.Commit(); err != nil {
 			return &wire.IUAck{TxnID: msg.TxnID, OK: false}
 		}
+		e.observe(msg.TxnID, p.key, true, false)
 		return &wire.IUAck{TxnID: msg.TxnID, OK: true}
 	}
 	p.tx.Abort()
+	e.observe(msg.TxnID, p.key, false, false)
 	return &wire.IUAck{TxnID: msg.TxnID, OK: true}
 }
 
@@ -377,18 +452,23 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 // abort after a coordinator failure) and returns how many were swept.
 // Sites call it periodically.
 func (e *Engine) Sweep(now time.Time) int {
+	type victim struct {
+		id uint64
+		p  *preparedTxn
+	}
 	e.mu.Lock()
-	var victims []*preparedTxn
+	var victims []victim
 	for id, p := range e.prepared {
 		if now.After(p.deadline) {
-			victims = append(victims, p)
+			victims = append(victims, victim{id, p})
 			delete(e.prepared, id)
 			e.recordDecided(id, false)
 		}
 	}
 	e.mu.Unlock()
-	for _, p := range victims {
-		p.tx.Abort()
+	for _, v := range victims {
+		v.p.tx.Abort()
+		e.observe(v.id, v.p.key, false, true)
 	}
 	e.stats.Swept.Add(int64(len(victims)))
 	return len(victims)

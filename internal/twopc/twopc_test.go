@@ -444,3 +444,30 @@ func (d *decisionDropper) Intercept(from, to wire.SiteID, isReply bool, kind wir
 	}
 	return transport.Fault{}
 }
+
+func TestAbortOvertakesPrepare(t *testing.T) {
+	// A coordinator that gives up while the participant is still waiting
+	// for the lock broadcasts ABORT before the prepare finishes. The
+	// late prepare must see the recorded decision and release its lock
+	// immediately — not register and pin the key until the TTL sweep
+	// (which a quiet engine may not run for a long time).
+	h := newHarness(t, 2, 100)
+	ack := h.engines[1].HandleDecision(context.Background(), 0, &wire.IUDecision{TxnID: 777, Commit: false})
+	if !ack.OK {
+		t.Fatal("presumed abort not acked")
+	}
+	vote := h.engines[1].HandlePrepare(context.Background(), 0, &wire.IUPrepare{TxnID: 777, Coord: 0, Key: "k", Delta: -10})
+	if vote.OK {
+		t.Fatal("prepare succeeded after its txn was aborted")
+	}
+	if h.engines[1].PreparedCount() != 0 {
+		t.Fatal("aborted txn left prepared state")
+	}
+	// The lock must be free: a fresh update goes straight through.
+	if err := h.engines[0].Update(context.Background(), h.peers[0], "k", -1); err != nil {
+		t.Fatalf("key still locked after overtaken prepare: %v", err)
+	}
+	if n, _ := h.stores[1].Amount("k"); n != 99 {
+		t.Fatalf("amount = %d, want 99", n)
+	}
+}
