@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"avdb/internal/avstore"
+	"avdb/internal/wal"
+)
+
+// durableResult is the schema of the BENCH_4.json snapshot: the durable
+// fast-path micro-benchmarks that guard the group-commit WAL pipeline.
+// Real fsyncs, no NoSync shortcuts — the headline number is
+// parallel_fsyncs_per_op falling well below 1 once concurrent durable
+// decrements share sync rounds.
+type durableResult struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// One goroutine: every op waits out its own fsync, so ~1 fsync/op.
+	// This is the amortization baseline.
+	SerialNsOp        float64 `json:"durable_decrement_serial_ns_op"`
+	SerialFsyncsPerOp float64 `json:"durable_decrement_serial_fsyncs_per_op"`
+
+	// Parallelism goroutines (GOMAXPROCS forced to at least 4 so the
+	// group-commit batching is measured even on small CI hosts).
+	Parallelism         int     `json:"parallelism"`
+	ParallelNsOp        float64 `json:"durable_decrement_parallel_ns_op"`
+	ParallelFsyncsPerOp float64 `json:"durable_decrement_parallel_fsyncs_per_op"`
+
+	// Mean records made durable per group-commit sync round in the
+	// parallel run (records_synced / sync_rounds).
+	MeanGroupCommitSize float64 `json:"mean_group_commit_size"`
+}
+
+// runDurable measures the durable snapshot and writes it as JSON to
+// path.
+func runDurable(path string) error {
+	res := durableResult{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	serial := testing.Benchmark(benchDurableDecrement(false, nil))
+	res.SerialNsOp = nsPerOp(serial)
+	res.SerialFsyncsPerOp = serial.Extra["fsyncs/op"]
+
+	// The batching payoff needs concurrent waiters; on a 1–2 core host
+	// GOMAXPROCS-many goroutines cannot contend on the sync round, so
+	// force at least 4 (fsync parks in a syscall, so even one core
+	// overlaps the waiters).
+	res.Parallelism = runtime.NumCPU()
+	if res.Parallelism < 4 {
+		res.Parallelism = 4
+	}
+	prev := runtime.GOMAXPROCS(res.Parallelism)
+	st := &wal.Stats{}
+	parallel := testing.Benchmark(benchDurableDecrement(true, st))
+	runtime.GOMAXPROCS(prev)
+	res.ParallelNsOp = nsPerOp(parallel)
+	res.ParallelFsyncsPerOp = parallel.Extra["fsyncs/op"]
+	if rounds := st.SyncRounds.Load(); rounds > 0 {
+		res.MeanGroupCommitSize = float64(st.RecordsSynced.Load()) / float64(rounds)
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// benchDurableDecrement mirrors BenchmarkDurableDecrement{Serial,
+// Parallel} in internal/avstore: acquire+consume one AV unit per op
+// against a journaled store with real fsyncs. stats, when non-nil,
+// receives the WAL counters (cumulative across the calibration runs
+// testing.Benchmark performs; ratios stay meaningful).
+func benchDurableDecrement(parallelized bool, stats *wal.Stats) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "avbench-durable")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		st := stats
+		if st == nil {
+			st = &wal.Stats{}
+		}
+		s, err := avstore.Open(dir, avstore.Options{Stats: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		if err := s.Define("k", 1<<50); err != nil {
+			b.Fatal(err)
+		}
+		start := st.Fsyncs.Load()
+		b.ResetTimer()
+		if !parallelized {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := s.Acquire("k", 1); ok {
+					if err := s.Consume("k", 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		} else {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if ok, _ := s.Acquire("k", 1); ok {
+						if err := s.Consume("k", 1); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(st.Fsyncs.Load()-start)/float64(b.N), "fsyncs/op")
+	}
+}

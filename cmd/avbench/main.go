@@ -8,9 +8,11 @@
 //	avbench -sweep passes     # AV gathering passes
 //
 // It can also snapshot the fast-path micro-benchmarks as JSON (the
-// committed BENCH_2.json):
+// committed BENCH_2.json), or the durable/group-commit fast path (the
+// committed BENCH_4.json):
 //
 //	avbench -perf BENCH_2.json
+//	avbench -durable BENCH_4.json
 package main
 
 import (
@@ -28,11 +30,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "workload seed")
 		out     = flag.String("o", "", "output file (default stdout)")
 		perf    = flag.String("perf", "", `write a perf snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		durable = flag.String("durable", "", `write a durable-path (group commit) snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
 	)
 	flag.Parse()
 
 	if *perf != "" {
 		if err := runPerf(*perf); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *durable != "" {
+		if err := runDurable(*durable); err != nil {
 			fmt.Fprintln(os.Stderr, "avbench:", err)
 			os.Exit(1)
 		}

@@ -7,6 +7,12 @@
 //	avctl -addr localhost:7201 sync
 //	avctl -admin localhost:7300 stats
 //	avctl -admin localhost:7300 health
+//
+// `stats` dumps /metrics verbatim, including the durability-pipeline
+// gauges (wal_fsync_total, wal_records_synced_total, the
+// wal_group_commit_size and wal_sync_wait histograms): when
+// wal_records_synced_total outruns wal_fsync_total, group commit is
+// amortizing fsyncs across concurrent durable operations.
 package main
 
 import (

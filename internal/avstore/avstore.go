@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"avdb/internal/av"
 	"avdb/internal/wal"
@@ -72,9 +73,20 @@ type Options struct {
 	NoSync bool
 	// SegmentMaxBytes passes through to the journal's WAL.
 	SegmentMaxBytes int64
+	// MaxSyncDelay passes through to the journal's WAL group commit.
+	MaxSyncDelay time.Duration
+	// Stats passes through to the journal's WAL (shared fsync counters).
+	Stats *wal.Stats
 }
 
 // Store is a durable AV table. It implements core.AVTable.
+//
+// Durable operations pair the journal append and the table change under
+// s.mu, but wait for the group-commit fsync *after* releasing the lock:
+// the record's LSN is captured inside the critical section and the
+// operation returns — so any dependent message can escape the site —
+// only once journal.SyncTo reports that LSN durable. Concurrent ops
+// therefore share one fsync instead of serializing on one each.
 type Store struct {
 	dir  string
 	opts Options
@@ -82,6 +94,9 @@ type Store struct {
 	mu      sync.Mutex // serializes journal append + table apply pairs
 	tbl     *av.Table
 	journal *wal.Log
+	enc     []byte // scratch encode buffer for journal records; guarded by mu
+
+	ckptMu sync.Mutex // serializes whole checkpoints (snapshot + truncate)
 }
 
 // Open loads (or creates) the store in dir, replaying snapshot +
@@ -123,6 +138,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	j, err := wal.Open(filepath.Join(dir, "journal"), wal.Options{
 		NoSync:          opts.NoSync,
 		SegmentMaxBytes: opts.SegmentMaxBytes,
+		MaxSyncDelay:    opts.MaxSyncDelay,
+		Stats:           opts.Stats,
 	})
 	if err != nil {
 		return nil, err
@@ -209,26 +226,26 @@ func (s *Store) applyRecord(payload []byte) error {
 	}
 }
 
-// appendLocked journals one record. Caller holds s.mu.
-func (s *Store) appendLocked(op byte, key string, amount int64) error {
+// appendLocked journals one record and returns its LSN. Caller holds
+// s.mu; durability is the caller's job (journal.SyncTo after unlock).
+func (s *Store) appendLocked(op byte, key string, amount int64) (uint64, error) {
 	return s.appendXferLocked(op, key, amount, 0)
 }
 
 // appendXferLocked journals one record with a trailing transfer id
-// (escrow ops only). Caller holds s.mu.
-func (s *Store) appendXferLocked(op byte, key string, amount int64, xfer uint64) error {
-	payload := make([]byte, 0, 2+len(key)+20)
-	payload = append(payload, op)
+// (escrow ops only) and returns its LSN. The record is encoded into the
+// store's scratch buffer (guarded by s.mu, copied by the WAL's own
+// append buffer) so the hot path allocates nothing. Caller holds s.mu.
+func (s *Store) appendXferLocked(op byte, key string, amount int64, xfer uint64) (uint64, error) {
+	payload := append(s.enc[:0], op)
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
 	payload = append(payload, key...)
 	payload = binary.AppendVarint(payload, amount)
 	if op == opEscrow || op == opEscrowResolve || op == opOblige || op == opObligeDone {
 		payload = binary.AppendUvarint(payload, xfer)
 	}
-	if _, err := s.journal.Append(payload); err != nil {
-		return err
-	}
-	return s.journal.Sync()
+	s.enc = payload
+	return s.journal.Append(payload)
 }
 
 // --- durable operations (journal + table) ---
@@ -236,13 +253,18 @@ func (s *Store) appendXferLocked(op byte, key string, amount int64, xfer uint64)
 // Define declares (or adds to) the AV for key, durably.
 func (s *Store) Define(key string, initial int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Increase: table first (cause), then journal. A crash between the
 	// two loses the new slack — safe direction.
-	if err := s.tbl.Define(key, initial); err != nil {
+	err := s.tbl.Define(key, initial)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.appendLocked(opDefine, key, initial)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.appendLocked(opDefine, key, initial)
+	return s.journal.SyncTo(lsn)
 }
 
 // Credit adds fresh available volume durably (an increment's slack or a
@@ -250,40 +272,60 @@ func (s *Store) Define(key string, initial int64) error {
 // mints.
 func (s *Store) Credit(key string, n int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.tbl.Credit(key, n); err != nil {
+	err := s.tbl.Credit(key, n)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.appendLocked(opCredit, key, n)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.appendLocked(opCredit, key, n)
+	return s.journal.SyncTo(lsn)
 }
 
 // Consume destroys n held units durably. The journal record precedes
 // the table change: if we crash after journaling, recovery has already
 // removed the volume (the accompanying storage-WAL decrement may or may
 // not have committed — if it did not, slack is lost, which is safe).
+// The fsync wait happens after s.mu is released, so concurrent durable
+// ops batch onto one group commit.
 func (s *Store) Consume(key string, n int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.appendLocked(opSpend, key, n); err != nil {
+	lsn, err := s.appendLocked(opSpend, key, n)
+	if err == nil {
+		err = s.tbl.Consume(key, n)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.tbl.Consume(key, n)
+	return s.journal.SyncTo(lsn)
 }
 
 // Debit removes up to n available units for an outbound transfer,
 // durably, and returns the amount taken. The journal precedes the grant
-// leaving the site.
+// leaving the site: the debit only returns (letting the grant escape)
+// once its record is durable. If the group commit fails, the in-memory
+// debit is kept and zero is reported — the units are lost slack, never
+// minted volume.
 func (s *Store) Debit(key string, n int64) (int64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	taken, err := s.tbl.Debit(key, n)
 	if err != nil || taken == 0 {
+		s.mu.Unlock()
 		return taken, err
 	}
-	if err := s.appendLocked(opTransferOut, key, taken); err != nil {
+	lsn, err := s.appendLocked(opTransferOut, key, taken)
+	if err != nil {
 		// Undo the in-memory debit: the grant must not leave the site
 		// without a durable record.
 		_ = s.tbl.Credit(key, taken)
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.mu.Unlock()
+	if err := s.journal.SyncTo(lsn); err != nil {
 		return 0, err
 	}
 	return taken, nil
@@ -292,16 +334,23 @@ func (s *Store) Debit(key string, n int64) (int64, error) {
 // EscrowDebit durably parks up to n available units in escrow for the
 // transfer xfer and returns the amount taken. Like Debit, the journal
 // record lands before the grant leaves the site; on journal failure
-// the in-memory escrow is canceled so nothing escapes unrecorded.
+// the in-memory escrow is canceled (append error) or reported as zero
+// granted (sync error) so nothing escapes unrecorded.
 func (s *Store) EscrowDebit(key string, xfer uint64, n int64) (int64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	taken, err := s.tbl.EscrowDebit(key, xfer, n)
 	if err != nil || taken == 0 {
+		s.mu.Unlock()
 		return taken, err
 	}
-	if err := s.appendXferLocked(opEscrow, key, taken, xfer); err != nil {
+	lsn, err := s.appendXferLocked(opEscrow, key, taken, xfer)
+	if err != nil {
 		_, _ = s.tbl.ResolveEscrow(xfer, true)
+		s.mu.Unlock()
+		return 0, err
+	}
+	s.mu.Unlock()
+	if err := s.journal.SyncTo(lsn); err != nil {
 		return 0, err
 	}
 	return taken, nil
@@ -314,20 +363,29 @@ func (s *Store) EscrowDebit(key string, xfer uint64, n int64) (int64, error) {
 // because the refund is rebuilt from the same journal.
 func (s *Store) ResolveEscrow(xfer uint64, refund bool) (int64, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Peek first: resolving an unknown transfer is a no-op and should
 	// not pollute the journal.
 	if s.tbl.EscrowAmount(xfer) == 0 {
+		s.mu.Unlock()
 		return 0, nil
 	}
 	amount := int64(0)
 	if refund {
 		amount = 1
 	}
-	if err := s.appendXferLocked(opEscrowResolve, "", amount, xfer); err != nil {
+	lsn, err := s.appendXferLocked(opEscrowResolve, "", amount, xfer)
+	var refunded int64
+	if err == nil {
+		refunded, err = s.tbl.ResolveEscrow(xfer, refund)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return 0, err
 	}
-	return s.tbl.ResolveEscrow(xfer, refund)
+	if err := s.journal.SyncTo(lsn); err != nil {
+		return 0, err
+	}
+	return refunded, nil
 }
 
 // Escrowed implements core.AVTable.
@@ -342,26 +400,34 @@ func (s *Store) PendingEscrows() []av.Escrow { return s.tbl.PendingEscrows() }
 // local credit) is journaled after it.
 func (s *Store) AddObligation(ob av.Obligation) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	amount := int64(0)
 	if ob.Cancel {
 		amount = 1
 	}
 	peer := strconv.FormatUint(uint64(ob.Peer), 10)
-	if err := s.appendXferLocked(opOblige, peer, amount, ob.Xfer); err != nil {
+	lsn, err := s.appendXferLocked(opOblige, peer, amount, ob.Xfer)
+	if err == nil {
+		err = s.tbl.AddObligation(ob)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.tbl.AddObligation(ob)
+	return s.journal.SyncTo(lsn)
 }
 
 // CompleteObligation durably discharges the obligation for xfer.
 func (s *Store) CompleteObligation(xfer uint64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.appendXferLocked(opObligeDone, "", 0, xfer); err != nil {
+	lsn, err := s.appendXferLocked(opObligeDone, "", 0, xfer)
+	if err == nil {
+		err = s.tbl.CompleteObligation(xfer)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.tbl.CompleteObligation(xfer)
+	return s.journal.SyncTo(lsn)
 }
 
 // Obligations returns the outstanding obligations.
@@ -396,11 +462,16 @@ func (s *Store) Acquire(key string, n int64) (bool, error) { return s.tbl.Acquir
 // a Credit does.
 func (s *Store) CreditHeld(key string, n int64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.tbl.CreditHeld(key, n); err != nil {
+	err := s.tbl.CreditHeld(key, n)
+	var lsn uint64
+	if err == nil {
+		lsn, err = s.appendLocked(opCredit, key, n)
+	}
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.appendLocked(opCredit, key, n)
+	return s.journal.SyncTo(lsn)
 }
 
 // Release implements core.AVTable (volatile reservation).
@@ -416,14 +487,25 @@ func (s *Store) Snapshot() map[string]int64 { return s.tbl.Snapshot() }
 // reservations of still-running updates and belong to the balance) to a
 // snapshot and truncates the journal.
 func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	boundary := s.journal.NextLSN() - 1
 	balances := make(map[string]int64)
 	for _, key := range s.tbl.Keys() {
 		balances[key] = s.tbl.Total(key)
 	}
-	if err := s.writeSnapshot(boundary, balances, s.tbl.PendingEscrows(), s.tbl.Obligations()); err != nil {
+	escrows := s.tbl.PendingEscrows()
+	obls := s.tbl.Obligations()
+	s.mu.Unlock()
+	// With buffered group commit the journal tail may not be on disk
+	// yet; make everything the snapshot covers durable before any
+	// segment holding it can be dropped, so the journal remains a
+	// complete record even if the snapshot rename is lost to a crash.
+	if err := s.journal.SyncTo(boundary); err != nil {
+		return err
+	}
+	if err := s.writeSnapshot(boundary, balances, escrows, obls); err != nil {
 		return err
 	}
 	return s.journal.TruncateBefore(boundary + 1)
@@ -434,7 +516,23 @@ func (s *Store) Checkpoint() error {
 func (s *Store) writeSnapshot(boundary uint64, balances map[string]int64, escrows []av.Escrow, obls []av.Obligation) error {
 	out := encodeSnapshot(boundary, balances, escrows, obls)
 	tmp := filepath.Join(s.dir, snapTmp)
-	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("avstore: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return fmt.Errorf("avstore: %w", err)
+	}
+	// The snapshot replaces truncated journal segments, so it must hit
+	// stable storage before the rename makes it authoritative.
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("avstore: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("avstore: %w", err)
 	}
 	return os.Rename(tmp, filepath.Join(s.dir, snapName))

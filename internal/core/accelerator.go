@@ -271,7 +271,13 @@ func (a *Accelerator) delayUpdate(ctx context.Context, key string, delta int64) 
 	}
 
 	// Enough volume is held: apply the update, spend the AV, return any
-	// surplus from generous grants to the table.
+	// surplus from generous grants to the table. On a durable site both
+	// steps ride the group-commit pipeline — applyLocal returns once the
+	// storage WAL record is durable, Consume once the AV journal record
+	// is — so many concurrent zero-communication decrements share fsyncs
+	// instead of paying one each, and nothing observable (the caller's
+	// return, the surplus release) happens before the covering LSN is
+	// stable.
 	if err := a.applyLocal(ctx, key, delta); err != nil {
 		a.avt.Release(key, got)
 		return Result{}, err

@@ -53,6 +53,9 @@ type Server struct {
 type namedHist struct {
 	name string
 	h    *metrics.Histogram
+	// unitless renders samples as raw values (e.g. records per group
+	// commit) instead of nanosecond durations.
+	unitless bool
 }
 
 type namedCounter struct {
@@ -76,15 +79,28 @@ func New(opts Options) *Server {
 // RegisterHistogram adds a named latency histogram to /metrics. Safe to
 // call while the server runs.
 func (s *Server) RegisterHistogram(name string, h *metrics.Histogram) {
+	s.registerHist(name, h, false)
+}
+
+// RegisterSizeHistogram adds a histogram whose samples are unitless
+// counts (metrics.Histogram stores them as time.Duration internally,
+// one "nanosecond" per unit); /metrics renders them without the _ns
+// suffix. Used for the WAL's records-per-group-commit distribution.
+func (s *Server) RegisterSizeHistogram(name string, h *metrics.Histogram) {
+	s.registerHist(name, h, true)
+}
+
+func (s *Server) registerHist(name string, h *metrics.Histogram, unitless bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := range s.hists {
 		if s.hists[i].name == name {
 			s.hists[i].h = h
+			s.hists[i].unitless = unitless
 			return
 		}
 	}
-	s.hists = append(s.hists, namedHist{name, h})
+	s.hists = append(s.hists, namedHist{name, h, unitless})
 }
 
 // RegisterCounter exposes a named counter on /metrics, sampled at
@@ -187,12 +203,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := nh.h.Snapshot()
 		fmt.Fprintf(w, "\n# histogram %s\n%s_count %d\n", nh.name, nh.name, snap.Count)
 		if snap.Count > 0 {
-			fmt.Fprintf(w, "%s_mean_ns %d\n%s_p50_ns %d\n%s_p95_ns %d\n%s_p99_ns %d\n%s_max_ns %d\n",
-				nh.name, snap.Mean.Nanoseconds(),
-				nh.name, snap.Percentile(50).Nanoseconds(),
-				nh.name, snap.Percentile(95).Nanoseconds(),
-				nh.name, snap.Percentile(99).Nanoseconds(),
-				nh.name, snap.Max.Nanoseconds())
+			suffix := "_ns"
+			if nh.unitless {
+				suffix = ""
+			}
+			fmt.Fprintf(w, "%s_mean%s %d\n%s_p50%s %d\n%s_p95%s %d\n%s_p99%s %d\n%s_max%s %d\n",
+				nh.name, suffix, snap.Mean.Nanoseconds(),
+				nh.name, suffix, snap.Percentile(50).Nanoseconds(),
+				nh.name, suffix, snap.Percentile(95).Nanoseconds(),
+				nh.name, suffix, snap.Percentile(99).Nanoseconds(),
+				nh.name, suffix, snap.Max.Nanoseconds())
 		}
 	}
 

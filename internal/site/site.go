@@ -27,6 +27,7 @@ import (
 	"avdb/internal/transport"
 	"avdb/internal/twopc"
 	"avdb/internal/txn"
+	"avdb/internal/wal"
 	"avdb/internal/wire"
 )
 
@@ -43,6 +44,14 @@ type Config struct {
 	PersistAV bool
 	// NoSync disables WAL fsync (experiments).
 	NoSync bool
+	// WALMaxSyncDelay stalls each WAL group-commit leader to widen fsync
+	// batches (0 = commit immediately; batching then comes only from
+	// concurrency). Applies to both the storage WAL and the AV journal.
+	WALMaxSyncDelay time.Duration
+	// WALStats, when non-nil, aggregates fsync/group-commit counters
+	// across the storage WAL and the AV journal (exported on /metrics by
+	// avnode when the admin server is enabled).
+	WALStats *wal.Stats
 	// Policy is the AV selecting/deciding policy (default SODA99).
 	Policy strategy.Policy
 	// Passes bounds AV gathering passes per update.
@@ -136,7 +145,12 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	eng, err := storage.Open(storage.Options{Dir: cfg.StorageDir, NoSync: cfg.NoSync})
+	eng, err := storage.Open(storage.Options{
+		Dir:          cfg.StorageDir,
+		NoSync:       cfg.NoSync,
+		MaxSyncDelay: cfg.WALMaxSyncDelay,
+		Stats:        cfg.WALStats,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +164,11 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 			eng.Close()
 			return nil, fmt.Errorf("site: PersistAV requires StorageDir")
 		}
-		avs, err := avstore.Open(filepath.Join(cfg.StorageDir, "av"), avstore.Options{NoSync: cfg.NoSync})
+		avs, err := avstore.Open(filepath.Join(cfg.StorageDir, "av"), avstore.Options{
+			NoSync:       cfg.NoSync,
+			MaxSyncDelay: cfg.WALMaxSyncDelay,
+			Stats:        cfg.WALStats,
+		})
 		if err != nil {
 			eng.Close()
 			return nil, err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"avdb/internal/btree"
 	"avdb/internal/wal"
@@ -44,6 +45,10 @@ type Options struct {
 	NoSync bool
 	// SegmentMaxBytes is passed through to wal.Options.
 	SegmentMaxBytes int64
+	// MaxSyncDelay is passed through to wal.Options (group-commit stall).
+	MaxSyncDelay time.Duration
+	// Stats is passed through to wal.Options (shared fsync counters).
+	Stats *wal.Stats
 }
 
 // stripe is one lock-striped partition of the key space: keys hash to a
@@ -88,6 +93,8 @@ func Open(opts Options) (*Engine, error) {
 	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
 		NoSync:          opts.NoSync,
 		SegmentMaxBytes: opts.SegmentMaxBytes,
+		MaxSyncDelay:    opts.MaxSyncDelay,
+		Stats:           opts.Stats,
 	})
 	if err != nil {
 		return nil, err
@@ -274,16 +281,34 @@ func (e *Engine) Scan(fn func(rec Record) bool) error {
 // disjoint key sets run concurrently. The WAL append happens while the
 // stripe locks are held: any two conflicting batches share a stripe and
 // therefore serialize, so replay order always matches apply order for
-// ops that do not commute.
+// ops that do not commute. The fsync wait happens *after* the stripe
+// locks are released — concurrent commits share one group-commit fsync
+// instead of holding their stripes through it — and Apply returns only
+// once its WAL record is durable (so a commit acknowledgement never
+// escapes the site for a batch a crash could lose).
 func (e *Engine) Apply(ops ...Op) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	lsn, err := e.applyBatch(ops)
+	if err != nil {
+		return err
+	}
+	if e.log != nil && lsn > 0 {
+		return e.log.SyncTo(lsn)
+	}
+	return nil
+}
+
+// applyBatch validates, logs, and applies one batch under its stripe
+// locks, returning the batch's WAL LSN (0 when the engine is
+// in-memory). Durability is the caller's job.
+func (e *Engine) applyBatch(ops []Op) (uint64, error) {
 	idx := stripesFor(ops)
 	e.lockStripes(idx)
 	defer e.unlockStripes(idx)
 	if e.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	// Validate first so failures leave no partial state. A batch may
 	// legitimately put a row and then delta it, so track keys the batch
@@ -295,10 +320,10 @@ func (e *Engine) Apply(ops ...Op) error {
 		switch op.Kind {
 		case OpPut:
 			if op.Key == "" {
-				return fmt.Errorf("storage: empty key in put")
+				return 0, fmt.Errorf("storage: empty key in put")
 			}
 			if len(op.Key) >= len(MetaPrefix) && op.Key[:len(MetaPrefix)] == MetaPrefix {
-				return fmt.Errorf("storage: user key %q collides with the metadata namespace", op.Key)
+				return 0, fmt.Errorf("storage: user key %q collides with the metadata namespace", op.Key)
 			}
 			created[op.Key] = true
 			delete(deleted, op.Key)
@@ -307,29 +332,32 @@ func (e *Engine) Apply(ops ...Op) error {
 			delete(created, op.Key)
 		case OpDelta:
 			if deleted[op.Key] {
-				return fmt.Errorf("storage: delta to key %q deleted earlier in batch: %w", op.Key, ErrNotFound)
+				return 0, fmt.Errorf("storage: delta to key %q deleted earlier in batch: %w", op.Key, ErrNotFound)
 			}
 			if created[op.Key] {
 				continue
 			}
 			if _, ok := e.stripes[stripeOf(op.Key)].mem.Get(op.Key); !ok {
-				return fmt.Errorf("storage: delta to %q: %w", op.Key, ErrNotFound)
+				return 0, fmt.Errorf("storage: delta to %q: %w", op.Key, ErrNotFound)
 			}
 		case OpMetaPut, OpMetaDelete:
 			if op.Key == "" {
-				return fmt.Errorf("storage: empty meta key")
+				return 0, fmt.Errorf("storage: empty meta key")
 			}
 		default:
-			return fmt.Errorf("storage: unknown op kind %d", op.Kind)
+			return 0, fmt.Errorf("storage: unknown op kind %d", op.Kind)
 		}
 	}
+	var lsn uint64
 	if e.log != nil {
-		if _, err := e.log.Append(encodeBatch(ops)); err != nil {
-			return err
+		var err error
+		lsn, err = e.log.Append(encodeBatch(ops))
+		if err != nil {
+			return 0, err
 		}
 	}
 	e.applyOps(ops)
-	return nil
+	return lsn, nil
 }
 
 // applyOps applies pre-validated ops. The caller holds the write locks
@@ -447,6 +475,12 @@ func (e *Engine) Checkpoint() error {
 		return nil
 	}
 	boundary := e.log.NextLSN() - 1 // everything <= boundary is in the snapshot
+	// Group commit buffers appends: force everything the snapshot covers
+	// to disk before truncation can drop the segments holding it. SyncTo
+	// never takes stripe locks, so calling it under lockAll is safe.
+	if err := e.log.SyncTo(boundary); err != nil {
+		return err
+	}
 	if err := e.writeSnapshotLocked(boundary); err != nil {
 		return err
 	}
@@ -475,7 +509,23 @@ func (e *Engine) writeSnapshotLocked(boundaryLSN uint64) error {
 	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
 	out = append(out, body...)
 	tmp := filepath.Join(e.opts.Dir, snapshotTmp)
-	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: %w", err)
+	}
+	// The snapshot replaces truncated WAL segments; make it stable
+	// before the rename promotes it.
+	if !e.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	return os.Rename(tmp, filepath.Join(e.opts.Dir, snapshotName))

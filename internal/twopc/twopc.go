@@ -291,6 +291,10 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 		e.broadcastDecision(ctx, peers, txnID, false, nil)
 		return fmt.Errorf("%w: %s", ErrAborted, reason)
 	}
+	// Commit goes through Engine.Apply, which returns only after the
+	// batch's WAL record is durable (group commit): the COMMIT decision
+	// broadcast below never escapes for a transaction a crash could
+	// lose.
 	if err := local.Commit(); err != nil {
 		// Local commit of a validated, locked batch cannot fail in normal
 		// operation; treat it as a global abort to stay safe.
@@ -437,6 +441,9 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 	e.recordDecided(msg.TxnID, msg.Commit)
 	e.mu.Unlock()
 	if msg.Commit {
+		// Commit waits on the WAL group commit before returning, so the
+		// OK ack (the coordinator's license to forget the transaction)
+		// is sent only once the covering LSN is durable here.
 		if err := p.tx.Commit(); err != nil {
 			return &wire.IUAck{TxnID: msg.TxnID, OK: false}
 		}
