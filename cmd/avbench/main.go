@@ -8,11 +8,13 @@
 //	avbench -sweep passes     # AV gathering passes
 //
 // It can also snapshot the fast-path micro-benchmarks as JSON (the
-// committed BENCH_2.json), or the durable/group-commit fast path (the
-// committed BENCH_4.json):
+// committed BENCH_2.json), the durable/group-commit fast path (the
+// committed BENCH_4.json), or the read plane's serving numbers (the
+// committed BENCH_5.json):
 //
 //	avbench -perf BENCH_2.json
 //	avbench -durable BENCH_4.json
+//	avbench -reads BENCH_5.json
 package main
 
 import (
@@ -25,12 +27,15 @@ import (
 
 func main() {
 	var (
-		sweep   = flag.String("sweep", "sites", "sites | items | initial | decrease | passes")
-		updates = flag.Int("updates", 5000, "updates per configuration")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		out     = flag.String("o", "", "output file (default stdout)")
-		perf    = flag.String("perf", "", `write a perf snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
-		durable = flag.String("durable", "", `write a durable-path (group commit) snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		sweep    = flag.String("sweep", "sites", "sites | items | initial | decrease | passes")
+		updates  = flag.Int("updates", 5000, "updates per configuration")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+		perf     = flag.String("perf", "", `write a perf snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		durable  = flag.String("durable", "", `write a durable-path (group commit) snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		reads    = flag.String("reads", "", `write a read-plane snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		readFrac = flag.Float64("read-frac", 0.9, "fraction of reads in the -reads mixed workload")
+		readOps  = flag.Int("read-ops", 5000, "mixed operations in the -reads workload")
 	)
 	flag.Parse()
 
@@ -43,6 +48,13 @@ func main() {
 	}
 	if *durable != "" {
 		if err := runDurable(*durable); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *reads != "" {
+		if err := runReads(*reads, *readFrac, *readOps, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "avbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"avdb/internal/cluster"
+	"avdb/internal/metrics"
+	"avdb/internal/workload"
+)
+
+// readsResult is the schema of the BENCH_5.json snapshot: the read
+// plane's serving numbers. Two headline figures — concurrent
+// snapshot-read throughput (read_qps: lock-free copy-on-swap reads
+// scale with readers) and commit-to-visibility freshness
+// (freshness_lag_p99_ns: how long a read-your-writes token waits
+// before the stock view reflects its commit).
+type readsResult struct {
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Sites    int     `json:"sites"`
+	Items    int     `json:"items"`
+	ReadFrac float64 `json:"read_frac"`
+
+	// Mixed phase: one driver runs a ReadMix stream; reads hit the
+	// stock view, writes commit through the accelerator and then wait
+	// out their RYW token.
+	MixedOps     int   `json:"mixed_ops"`
+	MixedReads   int64 `json:"mixed_reads"`
+	MixedWrites  int64 `json:"mixed_writes"`
+	WriteCommits int64 `json:"write_commits"`
+
+	FreshnessP50Ns int64 `json:"freshness_lag_p50_ns"`
+	FreshnessP99Ns int64 `json:"freshness_lag_p99_ns"`
+	FreshnessMaxNs int64 `json:"freshness_lag_max_ns"`
+
+	// Throughput phase: Parallelism goroutines reading the stock view.
+	Parallelism int     `json:"parallelism"`
+	ReadQPS     float64 `json:"read_qps"`
+	ReadNsOp    float64 `json:"read_ns_op"`
+
+	// Summed across every site's plane; must be 0.
+	RYWViolations int64 `json:"ryw_violations"`
+}
+
+// runReads measures the read-plane snapshot and writes it as JSON to
+// path.
+func runReads(path string, readFrac float64, ops int, seed uint64) error {
+	const (
+		sites   = 3
+		items   = 50
+		initial = 1_000_000
+	)
+	c, err := cluster.New(cluster.Config{
+		Sites:         sites,
+		Items:         items,
+		InitialAmount: initial,
+		Seed:          seed,
+		ReadPlane:     true,
+		FlushInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	gen, err := workload.NewReadMix(workload.ReadMixConfig{
+		Inner: mustSCM(workload.SCMConfig{
+			Sites: sites, Keys: c.RegularKeys, InitialAmount: initial, Seed: seed,
+		}),
+		ReadFrac: readFrac,
+		Sites:    sites,
+		Keys:     c.RegularKeys,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	res := readsResult{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Sites:     sites,
+		Items:     items,
+		ReadFrac:  readFrac,
+		MixedOps:  ops,
+	}
+
+	// Mixed phase: freshness lag is commit-return to token-satisfied at
+	// the committing site's own plane.
+	ctx := context.Background()
+	lag := metrics.NewHistogram()
+	for i := 0; i < ops; i++ {
+		op := gen.Next()
+		if op.Read {
+			res.MixedReads++
+			c.Sites[op.Site].ReadPlane().Stock().Amount(op.Key)
+			continue
+		}
+		res.MixedWrites++
+		r, err := c.Update(ctx, op.Site, op.Key, op.Delta)
+		if err != nil {
+			continue // AV exhaustion is workload noise, not a bench failure
+		}
+		res.WriteCommits++
+		tok := c.Sites[op.Site].Token(r)
+		start := time.Now()
+		wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		werr := c.Sites[op.Site].ReadPlane().WaitFor(wctx, tok)
+		cancel()
+		if werr != nil {
+			return fmt.Errorf("RYW token %v unsatisfied: %w", tok, werr)
+		}
+		lag.Observe(time.Since(start))
+	}
+	if res.WriteCommits == 0 {
+		return errors.New("no write committed; freshness lag unmeasured")
+	}
+	snap := lag.Snapshot()
+	res.FreshnessP50Ns = snap.Percentile(50).Nanoseconds()
+	res.FreshnessP99Ns = snap.Percentile(99).Nanoseconds()
+	res.FreshnessMaxNs = snap.Max.Nanoseconds()
+
+	// Throughput phase: hammer site 0's stock view from NumCPU readers.
+	// Reads are wait-free snapshot loads, so this measures the
+	// copy-on-swap read path, not lock contention.
+	res.Parallelism = runtime.NumCPU()
+	if res.Parallelism < 4 {
+		res.Parallelism = 4
+	}
+	perReader := 200_000
+	plane := c.Sites[0].ReadPlane()
+	var wg sync.WaitGroup
+	startT := time.Now()
+	for g := 0; g < res.Parallelism; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			keys := c.RegularKeys
+			for i := 0; i < perReader; i++ {
+				plane.Stock().Amount(keys[(g+i)%len(keys)])
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(startT)
+	total := float64(res.Parallelism) * float64(perReader)
+	res.ReadQPS = total / elapsed.Seconds()
+	res.ReadNsOp = float64(elapsed.Nanoseconds()) / total
+
+	for _, s := range c.Sites {
+		res.RYWViolations += s.ReadPlane().Stats().RYWViolations
+	}
+	if res.RYWViolations != 0 {
+		return fmt.Errorf("%d RYW violations during the benchmark", res.RYWViolations)
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// mustSCM builds the inner write generator; the config is static, so a
+// failure is a programming error.
+func mustSCM(cfg workload.SCMConfig) *workload.SCM {
+	g, err := workload.NewSCM(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

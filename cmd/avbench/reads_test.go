@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -reads mode must produce a well-formed BENCH_5-shaped snapshot
+// with the invariants the headline numbers rely on: every mixed op
+// accounted for, freshness measured, and zero RYW violations.
+func TestRunReadsSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench5.json")
+	if err := runReads(path, 0.5, 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res readsResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if res.MixedReads+res.MixedWrites != int64(res.MixedOps) {
+		t.Fatalf("reads %d + writes %d != ops %d", res.MixedReads, res.MixedWrites, res.MixedOps)
+	}
+	if res.MixedReads == 0 || res.MixedWrites == 0 {
+		t.Fatalf("mix degenerate: %d reads, %d writes", res.MixedReads, res.MixedWrites)
+	}
+	if res.WriteCommits == 0 {
+		t.Fatal("no write committed")
+	}
+	if res.FreshnessP99Ns < res.FreshnessP50Ns {
+		t.Fatalf("p99 %d below p50 %d", res.FreshnessP99Ns, res.FreshnessP50Ns)
+	}
+	if res.ReadQPS <= 0 || res.ReadNsOp <= 0 {
+		t.Fatalf("throughput unmeasured: qps=%v ns/op=%v", res.ReadQPS, res.ReadNsOp)
+	}
+	if res.RYWViolations != 0 {
+		t.Fatalf("%d RYW violations", res.RYWViolations)
+	}
+}

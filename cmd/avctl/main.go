@@ -7,12 +7,20 @@
 //	avctl -addr localhost:7201 sync
 //	avctl -admin localhost:7300 stats
 //	avctl -admin localhost:7300 health
+//	avctl -admin localhost:7300 watch [stock|global|hot] [-interval 1s] [-key k]
 //
 // `stats` dumps /metrics verbatim, including the durability-pipeline
 // gauges (wal_fsync_total, wal_records_synced_total, the
 // wal_group_commit_size and wal_sync_wait histograms): when
 // wal_records_synced_total outruns wal_fsync_total, group commit is
-// amortizing fsyncs across concurrent durable operations.
+// amortizing fsyncs across concurrent durable operations. With
+// -readplane (the default) the dump also carries the readplane_*
+// counters — events applied/stale, resyncs, feed drops, per-model read
+// counts, RYW waits/timeouts/violations — and the readplane_lag and
+// readplane_ryw_wait histograms.
+//
+// `watch` streams one of the read plane's materialized models
+// (ndjson, one snapshot per line) from /read/watch until interrupted.
 package main
 
 import (
@@ -27,7 +35,7 @@ import (
 	"time"
 )
 
-const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats|health> [args...]"
+const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats|health|watch> [args...]"
 
 func main() {
 	addr := flag.String("addr", "localhost:7200", "avnode client address")
@@ -45,6 +53,9 @@ func main() {
 	}
 	if cmd == "HEALTH" {
 		os.Exit(health(*admin, *timeout))
+	}
+	if cmd == "WATCH" {
+		os.Exit(watch(*admin, flag.Args()[1:]))
 	}
 	line := strings.Join(append([]string{cmd}, flag.Args()[1:]...), " ")
 
@@ -83,6 +94,45 @@ func stats(admin string, timeout time.Duration) int {
 	fmt.Println("\n# recent traces")
 	if err := fetch(client, "http://"+admin+"/trace/recent?format=text&n=50", os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "avctl: traces:", err)
+		return 1
+	}
+	return 0
+}
+
+// watch streams one read-plane model (stock, global, or hot) from the
+// admin server's /read/watch as ndjson, one snapshot per line, until
+// the connection drops or the process is interrupted. Returns the
+// process exit code.
+func watch(admin string, args []string) int {
+	model := "stock"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		model, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "snapshot interval (min 10ms)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	url := fmt.Sprintf("http://%s/read/watch?model=%s&interval_ms=%d",
+		admin, model, interval.Milliseconds())
+
+	// No client timeout: the stream is open-ended by design.
+	resp, err := http.Get(url) //nolint:noctx // interactive CLI stream
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: watch:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Fprintf(os.Stderr, "avctl: watch: %s: %s\n", resp.Status, strings.TrimSpace(string(body)))
+		return 1
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: watch:", err)
 		return 1
 	}
 	return 0

@@ -12,7 +12,7 @@
 //
 // Client protocol (one command per line):
 //
-//	UPDATE <key> <delta>   -> OK <path> | ERR <reason>
+//	UPDATE <key> <delta>   -> OK <path> token=<site:lsn> | ERR <reason>
 //	READ <key>             -> OK <value> | ERR <reason>
 //	AV <key>               -> OK <avail>
 //	SYNC                   -> OK
@@ -62,6 +62,8 @@ func main() {
 		suspectMS    = flag.Int("suspect-after-ms", 0, "consecutive-failure duration before a peer is suspected (0 = default)")
 		flushPeerMS  = flag.Int("flush-peer-ms", 2000, "per-peer deadline within one anti-entropy flush (0 = unbounded)")
 		escrow       = flag.Bool("escrow", false, "make remote AV grants crash-safe escrowed transfers")
+		readPlane    = flag.Bool("readplane", true, "materialize read models and serve /read/* on the admin server")
+		readTopK     = flag.Int("read-topk", 0, "hot-key view size (0 = default)")
 		retransmitMS = flag.Int("retransmit-ms", 0, "inter-site RPC retransmission interval in milliseconds (0 = off; receivers dedup)")
 		syncDelayUS  = flag.Int("wal-sync-delay-us", 0, "group-commit leader stall in microseconds to widen fsync batches (0 = commit immediately)")
 	)
@@ -114,6 +116,8 @@ func main() {
 		FlushPeerTimeout:  time.Duration(*flushPeerMS) * time.Millisecond,
 		FlushBackoff:      flushBackoff,
 		EscrowTransfers:   *escrow,
+		ReadPlane:         *readPlane,
+		ReadPlaneTopK:     *readTopK,
 		WALMaxSyncDelay:   time.Duration(*syncDelayUS) * time.Microsecond,
 		WALStats:          walStats,
 	}, network)
@@ -144,6 +148,24 @@ func main() {
 		srv.RegisterCounter("wal_records_synced_total", walStats.RecordsSynced.Load)
 		srv.RegisterSizeHistogram("wal_group_commit_size", walStats.GroupSize)
 		srv.RegisterHistogram("wal_sync_wait", walStats.SyncWait)
+		// Read-plane counters and the /read/* endpoints: how far the
+		// materialized models trail the engine and how read traffic splits
+		// across them.
+		if p := s.ReadPlane(); p != nil {
+			srv.Handle("GET /read/", p.HTTPHandler())
+			srv.RegisterCounter("readplane_events_applied", func() int64 { return p.Stats().EventsApplied })
+			srv.RegisterCounter("readplane_events_stale", func() int64 { return p.Stats().EventsStale })
+			srv.RegisterCounter("readplane_resyncs", func() int64 { return p.Stats().Resyncs })
+			srv.RegisterCounter("readplane_feed_dropped", func() int64 { return int64(p.Stats().FeedDropped) })
+			srv.RegisterCounter("readplane_reads_stock", func() int64 { return p.Stats().ReadsStock })
+			srv.RegisterCounter("readplane_reads_global", func() int64 { return p.Stats().ReadsGlobal })
+			srv.RegisterCounter("readplane_reads_hot", func() int64 { return p.Stats().ReadsHot })
+			srv.RegisterCounter("readplane_ryw_waits", func() int64 { return p.Stats().RYWWaits })
+			srv.RegisterCounter("readplane_ryw_timeouts", func() int64 { return p.Stats().RYWTimeouts })
+			srv.RegisterCounter("readplane_ryw_violations", func() int64 { return p.Stats().RYWViolations })
+			srv.RegisterHistogram("readplane_lag", p.LagHistogram())
+			srv.RegisterHistogram("readplane_ryw_wait", p.WaitHistogram())
+		}
 		if err := srv.Start(*admin); err != nil {
 			log.Fatalf("avnode: admin server: %v", err)
 		}
@@ -263,7 +285,14 @@ func serveClient(s *site.Site, conn net.Conn, updateLatency *metrics.Histogram) 
 				reply("ERR %v", err)
 				break
 			}
-			reply("OK %s", res.Path)
+			// The token lets the client demand read-your-writes from the
+			// read plane (/read/*?token=...) — pointless to advertise when
+			// the plane is disabled.
+			if tok := s.Token(res); s.ReadPlane() != nil && !tok.IsZero() {
+				reply("OK %s token=%s", res.Path, tok)
+			} else {
+				reply("OK %s", res.Path)
+			}
 		case "READ":
 			if len(fields) != 2 {
 				reply("ERR usage: READ <key>")

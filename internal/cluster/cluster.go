@@ -101,6 +101,10 @@ type Config struct {
 	// TxnObserver, when non-nil, receives every locally applied 2PC
 	// outcome cluster-wide.
 	TxnObserver func(twopc.Outcome)
+	// ReadPlane gives every site an event-sourced read plane (see
+	// site.Config.ReadPlane). The simulator enables it so its oracles
+	// can prove read-model convergence and RYW-token safety.
+	ReadPlane bool
 }
 
 // Cluster is a running multi-site system.
@@ -252,6 +256,7 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		FlushPeerTimeout:  cfg.FlushPeerTimeout,
 		FlushBackoff:      cfg.FlushBackoff,
 		EscrowTransfers:   cfg.EscrowTransfers,
+		ReadPlane:         cfg.ReadPlane,
 	}
 	if cfg.EventsFor != nil {
 		sc.Events = cfg.EventsFor(id)

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// A ReadPlane cluster serves reads from the materialized models:
+// committing sites satisfy their own tokens immediately, and after
+// replication every site's stock view agrees with its authoritative
+// engine.
+func TestReadPlaneTokensAndConvergence(t *testing.T) {
+	c := newCluster(t, Config{ReadPlane: true, NonRegularFraction: 0.25})
+	key := c.RegularKeys[0]
+
+	res, err := c.Update(bg(), 1, key, -30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LSN == 0 {
+		t.Fatal("commit minted no LSN")
+	}
+	tok := c.Sites[1].Token(res)
+	ctx, cancel := context.WithTimeout(bg(), 5*time.Second)
+	defer cancel()
+	if err := c.Sites[1].ReadPlane().WaitFor(ctx, tok); err != nil {
+		t.Fatalf("RYW at the committing site: %v", err)
+	}
+	if v, ok := c.Sites[1].ReadPlane().Stock().Amount(key); !ok || v != 870 {
+		t.Fatalf("stock view = %d %v, want 870", v, ok)
+	}
+
+	// An Immediate-Update commit mints a usable token too.
+	nrKey := c.NonRegularKeys[0]
+	res, err = c.Update(bg(), 2, nrKey, -5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok = c.Sites[2].Token(res)
+	if err := c.Sites[2].ReadPlane().WaitFor(ctx, tok); err != nil {
+		t.Fatalf("RYW after immediate update: %v", err)
+	}
+
+	// After replication settles, every plane converges to its engine.
+	if err := c.FlushAll(bg()); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range c.Sites {
+		if err := s.ReadPlane().WaitCaughtUp(ctx); err != nil {
+			t.Fatalf("site %d: %v", i, err)
+		}
+		want, err := s.Read(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.ReadPlane().Stock().Amount(key); !ok || v != want {
+			t.Fatalf("site %d stock view = %d %v, engine = %d", i, v, ok, want)
+		}
+		if n := s.ReadPlane().Stats().RYWViolations; n != 0 {
+			t.Fatalf("site %d: %d RYW violations", i, n)
+		}
+	}
+
+	// A failed update mints no token: the zero token satisfies
+	// trivially and demands nothing of the model.
+	failRes, err := c.Update(bg(), 1, key, -10_000_000)
+	if err == nil {
+		t.Fatal("impossible decrement succeeded")
+	}
+	zero := c.Sites[1].Token(failRes)
+	if !zero.IsZero() {
+		t.Fatalf("failed update minted token %v", zero)
+	}
+	if err := c.Sites[1].ReadPlane().WaitFor(ctx, zero); err != nil {
+		t.Fatalf("zero token: %v", err)
+	}
+}

@@ -217,18 +217,31 @@ type Result struct {
 	Path        Path
 	Rounds      int   // AV transfer round trips used
 	Transferred int64 // AV received from peers
+	// LSN is the local storage cursor as of the commit: a read-plane
+	// session token minted from it (ReadToken{site, LSN}) guarantees
+	// read-your-writes, because the committed batch's LSN is <= LSN. It
+	// can over-approximate (include concurrent commits), which only
+	// makes the guarantee stricter. Zero when the update failed.
+	LSN uint64
 }
 
 // Update applies delta to key using the appropriate discipline. This is
 // the accelerator's single entry point: the checking function decides
 // the path.
 func (a *Accelerator) Update(ctx context.Context, key string, delta int64) (Result, error) {
+	var res Result
+	var err error
 	if a.avt.Defined(key) {
-		return a.delayUpdate(ctx, key, delta)
+		res, err = a.delayUpdate(ctx, key, delta)
+	} else {
+		a.stats.Immediate.Add(1)
+		err = a.iu.Update(ctx, a.cfg.Peers, key, delta)
+		res = Result{Path: PathImmediate}
 	}
-	a.stats.Immediate.Add(1)
-	err := a.iu.Update(ctx, a.cfg.Peers, key, delta)
-	return Result{Path: PathImmediate}, err
+	if err == nil {
+		res.LSN = a.tm.Engine().LastLSN()
+	}
+	return res, err
 }
 
 // delayUpdate is the Delay Update path (Figs. 3 and 4).

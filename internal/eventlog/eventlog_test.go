@@ -89,6 +89,61 @@ func TestSlowSubscriberDoesNotBlock(t *testing.T) {
 	}
 }
 
+func TestSlowSubscriberDropsAreCounted(t *testing.T) {
+	l := New(16)
+	slow := l.NewSubscriber(1)
+	defer slow.Cancel()
+	fast := l.NewSubscriber(128)
+	defer fast.Cancel()
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			l.Appendf(0, "e", "", "%d", i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("append blocked on a full subscriber")
+	}
+	// The slow subscriber's buffer holds 1: 99 events had nowhere to go.
+	if got := slow.Dropped(); got != 99 {
+		t.Fatalf("slow.Dropped() = %d, want 99", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast.Dropped() = %d, want 0", got)
+	}
+	st := l.Stats()
+	if st.Appended != 100 || st.Subscribers != 2 || st.Dropped != 99 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Cancelling the slow subscriber keeps its drops in the aggregate.
+	slow.Cancel()
+	slow.Cancel() // idempotent
+	if st := l.Stats(); st.Subscribers != 1 || st.Dropped != 99 {
+		t.Fatalf("stats after cancel = %+v", st)
+	}
+}
+
+func TestSubscriberReceivesLSNAndPayload(t *testing.T) {
+	l := New(16)
+	sub := l.NewSubscriber(4)
+	defer sub.Cancel()
+	l.Append(Event{Site: 2, Type: "apply", LSN: 7, Payload: []int{1, 2}})
+	select {
+	case e := <-sub.C():
+		if e.LSN != 7 {
+			t.Fatalf("LSN = %d, want 7", e.LSN)
+		}
+		if p, ok := e.Payload.([]int); !ok || len(p) != 2 {
+			t.Fatalf("payload = %#v", e.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
 func TestDumpFormat(t *testing.T) {
 	l := New(16)
 	l.Append(Event{Site: 3, Type: "iu.prepare", Key: "nonreg", Detail: "txn=9"})

@@ -119,6 +119,13 @@ func (s *Server) RegisterCounter(name string, read func() int64) {
 	s.counters = append(s.counters, namedCounter{name, read})
 }
 
+// Handle mounts an extra handler on the admin mux (e.g. the read
+// plane's /read/ subtree). Call before Start; patterns follow
+// http.ServeMux rules.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mux.Handle(pattern, h)
+}
+
 // Handler returns the admin mux for embedding into another server.
 func (s *Server) Handler() http.Handler { return s.mux }
 

@@ -1,0 +1,169 @@
+package readplane
+
+import (
+	"sort"
+	"time"
+
+	"avdb/internal/wire"
+)
+
+// StockSnapshot is the per-site stock view: every product's amount as
+// the local replica believes it, frozen at one watermark. Snapshots
+// are immutable; readers share them freely.
+type StockSnapshot struct {
+	Site wire.SiteID
+	// AppliedLSN is the watermark: every storage batch with LSN <= it
+	// is reflected, none above it is.
+	AppliedLSN uint64
+	// AsOf is when the snapshot was published (the staleness anchor).
+	AsOf time.Time
+	// LastEvent is the event time of the newest applied batch (zero
+	// before any batch).
+	LastEvent time.Time
+
+	amounts map[string]int64
+}
+
+// Amount returns key's amount in this snapshot.
+func (s *StockSnapshot) Amount(key string) (int64, bool) {
+	v, ok := s.amounts[key]
+	return v, ok
+}
+
+// Len returns how many keys the snapshot holds.
+func (s *StockSnapshot) Len() int { return len(s.amounts) }
+
+// Each calls fn for every key in ascending order until fn returns
+// false.
+func (s *StockSnapshot) Each(fn func(key string, amount int64) bool) {
+	keys := make([]string, 0, len(s.amounts))
+	for k := range s.amounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !fn(k, s.amounts[k]) {
+			return
+		}
+	}
+}
+
+// Age returns how stale the snapshot is relative to now.
+func (s *StockSnapshot) Age(now time.Time) time.Duration { return now.Sub(s.AsOf) }
+
+// HotKey is one entry of the hot view.
+type HotKey struct {
+	Key     string
+	Updates uint64 // batch ops observed for the key
+	Volume  int64  // sum of absolute deltas
+}
+
+// HotSnapshot is the top-K most-updated keys, by update count (volume,
+// then key, break ties).
+type HotSnapshot struct {
+	Site       wire.SiteID
+	AppliedLSN uint64
+	AsOf       time.Time
+	Top        []HotKey
+}
+
+// buildHot ranks the applier's counters into an immutable top-K slice.
+func buildHot(site wire.SiteID, st *applierState, now time.Time, k int) *HotSnapshot {
+	all := make([]HotKey, 0, len(st.counts))
+	for key, h := range st.counts {
+		all = append(all, HotKey{Key: key, Updates: h.updates, Volume: h.volume})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Updates != all[j].Updates {
+			return all[i].Updates > all[j].Updates
+		}
+		if all[i].Volume != all[j].Volume {
+			return all[i].Volume > all[j].Volume
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return &HotSnapshot{Site: site, AppliedLSN: st.applied, AsOf: now, Top: all}
+}
+
+// GlobalKey is one row of the cross-site position view.
+type GlobalKey struct {
+	Key string
+	// Amount is the local replica's belief of the global stock.
+	Amount int64
+	// AVAvail / AVHeld are the site's own allowable volume for the key.
+	AVAvail, AVHeld int64
+	// PeerAV is the last-gossiped available AV per peer (absent when
+	// never heard).
+	PeerAV map[wire.SiteID]int64
+	// KnownAV is AVAvail plus every known peer AV: the site's belief
+	// of how much decrement headroom exists system-wide.
+	KnownAV int64
+}
+
+// GlobalSnapshot is the cross-site position view. The stock column is
+// bounded by AppliedLSN; the AV columns are sampled at build time.
+type GlobalSnapshot struct {
+	Site       wire.SiteID
+	AppliedLSN uint64
+	AsOf       time.Time
+	Keys       []GlobalKey
+}
+
+// Key returns the row for key, nil when absent.
+func (g *GlobalSnapshot) Key(key string) *GlobalKey {
+	i := sort.Search(len(g.Keys), func(i int) bool { return g.Keys[i].Key >= key })
+	if i < len(g.Keys) && g.Keys[i].Key == key {
+		return &g.Keys[i]
+	}
+	return nil
+}
+
+// buildGlobal joins the stock snapshot with the AV samplers.
+func buildGlobal(cfg *Config, stock *StockSnapshot) *GlobalSnapshot {
+	keySet := make(map[string]struct{}, stock.Len())
+	stock.Each(func(k string, _ int64) bool {
+		keySet[k] = struct{}{}
+		return true
+	})
+	if cfg.AV != nil {
+		for _, k := range cfg.AV.Keys() {
+			keySet[k] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := &GlobalSnapshot{
+		Site:       cfg.Site,
+		AppliedLSN: stock.AppliedLSN,
+		AsOf:       cfg.Now(),
+		Keys:       make([]GlobalKey, 0, len(keys)),
+	}
+	for _, k := range keys {
+		row := GlobalKey{Key: k}
+		row.Amount, _ = stock.Amount(k)
+		if cfg.AV != nil {
+			row.AVAvail = cfg.AV.Avail(k)
+			row.AVHeld = cfg.AV.Held(k)
+		}
+		row.KnownAV = row.AVAvail
+		if cfg.View != nil {
+			for _, p := range cfg.Peers {
+				if n, ok := cfg.View.Known(p, k); ok {
+					if row.PeerAV == nil {
+						row.PeerAV = make(map[wire.SiteID]int64, len(cfg.Peers))
+					}
+					row.PeerAV[p] = n
+					row.KnownAV += n
+				}
+			}
+		}
+		out.Keys = append(out.Keys, row)
+	}
+	return out
+}

@@ -1,0 +1,540 @@
+package readplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"avdb/internal/eventlog"
+	"avdb/internal/lockmgr"
+	"avdb/internal/storage"
+	"avdb/internal/txn"
+	"avdb/internal/wire"
+)
+
+// harness wires an engine's apply observer into a feed log the way a
+// site does, and builds a plane over the pair.
+type harness struct {
+	eng   *storage.Engine
+	feed  *eventlog.Log
+	plane *Plane
+}
+
+func newHarness(t *testing.T, site wire.SiteID, opts storage.Options, cfg Config) *harness {
+	t.Helper()
+	eng, err := storage.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := eventlog.New(64)
+	eng.SetApplyObserver(func(lsn uint64, ops []storage.Op) {
+		feed.Append(eventlog.Event{
+			Site: site, Type: EventType, LSN: lsn,
+			Payload: append([]storage.Op(nil), ops...),
+		})
+	})
+	cfg.Site, cfg.Engine, cfg.Feed = site, eng, feed
+	plane, err := New(cfg)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		plane.Close()
+		eng.Close()
+	})
+	return &harness{eng: eng, feed: feed, plane: plane}
+}
+
+func waitCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestStockFollowsApplies(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.eng.Put(storage.Record{Key: "a", Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.eng.ApplyDelta("a", -3); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.eng.Put(storage.Record{Key: "b", Amount: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	s := h.plane.Stock()
+	if s.AppliedLSN != h.eng.LastLSN() {
+		t.Fatalf("watermark %d, engine %d", s.AppliedLSN, h.eng.LastLSN())
+	}
+	if v, ok := s.Amount("a"); !ok || v != 7 {
+		t.Fatalf("a = %d %v, want 7", v, ok)
+	}
+	if v, ok := s.Amount("b"); !ok || v != 5 {
+		t.Fatalf("b = %d %v, want 5", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestBootstrapCoversPreexistingState(t *testing.T) {
+	eng, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.Put(storage.Record{Key: "seeded", Amount: 42}); err != nil {
+		t.Fatal(err)
+	}
+	feed := eventlog.New(64)
+	plane, err := New(Config{Site: 3, Engine: eng, Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	s := plane.Stock()
+	if v, ok := s.Amount("seeded"); !ok || v != 42 {
+		t.Fatalf("seeded = %d %v", v, ok)
+	}
+	if s.AppliedLSN != eng.LastLSN() {
+		t.Fatalf("bootstrap watermark %d, engine %d", s.AppliedLSN, eng.LastLSN())
+	}
+}
+
+func TestOutOfOrderEventsApplyInLSNOrder(t *testing.T) {
+	eng, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	feed := eventlog.New(64)
+	plane, err := New(Config{Site: 1, Engine: eng, Feed: feed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	// LSN 2 (a delta) arrives before LSN 1 (the put it depends on).
+	feed.Append(eventlog.Event{Site: 1, Type: EventType, LSN: 2,
+		Payload: []storage.Op{storage.DeltaOp("k", -4)}})
+	feed.Append(eventlog.Event{Site: 1, Type: EventType, LSN: 1,
+		Payload: []storage.Op{storage.PutOp(storage.Record{Key: "k", Amount: 10})}})
+	if err := plane.WaitFor(waitCtx(t), Token{Site: 1, LSN: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := plane.Stock().Amount("k"); !ok || v != 6 {
+		t.Fatalf("k = %d %v, want 6", v, ok)
+	}
+}
+
+func TestGapBeyondPendingLimitResyncsFromEngine(t *testing.T) {
+	eng, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	feed := eventlog.New(64)
+	plane, err := New(Config{Site: 1, Engine: eng, Feed: feed, PendingLimit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plane.Close()
+	// The authoritative state the resync must recover.
+	if err := eng.Put(storage.Record{Key: "k", Amount: 99}); err != nil { // LSN 1 (observer not wired: event lost)
+		t.Fatal(err)
+	}
+	// Feed events 3..6 with 1 and 2 missing: the parking buffer
+	// overflows the limit and forces a resync to the engine cursor.
+	for lsn := uint64(3); lsn <= 6; lsn++ {
+		feed.Append(eventlog.Event{Site: 1, Type: EventType, LSN: lsn,
+			Payload: []storage.Op{storage.DeltaOp("lost", 1)}})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for plane.Stats().Resyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no resync after pending overflow")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := plane.WaitFor(waitCtx(t), Token{Site: 1, LSN: eng.LastLSN()}); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := plane.Stock().Amount("k"); !ok || v != 99 {
+		t.Fatalf("k = %d %v after resync, want 99", v, ok)
+	}
+}
+
+func TestSlowFeedConvergesUnderPressure(t *testing.T) {
+	// A tiny subscription buffer under a fast writer drops events; the
+	// plane must detect the drops and still converge to the engine.
+	h := newHarness(t, 1, storage.Options{}, Config{Buffer: 1})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := h.eng.ApplyDelta("k", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.plane.Stock().Amount("k"); !ok || v != 500 {
+		t.Fatalf("k = %d %v, want 500", v, ok)
+	}
+	if h.plane.Stats().RYWViolations != 0 {
+		t.Fatalf("violations = %d", h.plane.Stats().RYWViolations)
+	}
+}
+
+func TestHotViewRanksTopK(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{TopK: 2})
+	for _, k := range []string{"cold", "warm", "hot"} {
+		if err := h.eng.Put(storage.Record{Key: k, Amount: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := h.eng.ApplyDelta("hot", -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := h.eng.ApplyDelta("warm", -2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	hot := h.plane.Hot()
+	if len(hot.Top) != 2 {
+		t.Fatalf("topK = %d entries", len(hot.Top))
+	}
+	// "hot": 1 put + 5 deltas = 6 updates; "warm": 1 + 3 = 4.
+	if hot.Top[0].Key != "hot" || hot.Top[1].Key != "warm" {
+		t.Fatalf("ranking = %+v", hot.Top)
+	}
+	// Volume counts delta flow only (a put sets state, it moves none).
+	if hot.Top[0].Updates != 6 || hot.Top[0].Volume != 5 {
+		t.Fatalf("hot stats = %+v", hot.Top[0])
+	}
+}
+
+type fakeAV struct {
+	avail, held map[string]int64
+}
+
+func (f *fakeAV) Keys() []string {
+	out := make([]string, 0, len(f.avail))
+	for k := range f.avail {
+		out = append(out, k)
+	}
+	return out
+}
+func (f *fakeAV) Avail(key string) int64 { return f.avail[key] }
+func (f *fakeAV) Held(key string) int64  { return f.held[key] }
+
+type fakeView map[wire.SiteID]map[string]int64
+
+func (f fakeView) Known(site wire.SiteID, key string) (int64, bool) {
+	n, ok := f[site][key]
+	return n, ok
+}
+
+func TestGlobalViewJoinsAVAndPeers(t *testing.T) {
+	av := &fakeAV{avail: map[string]int64{"k": 30}, held: map[string]int64{"k": 5}}
+	view := fakeView{2: {"k": 10}, 3: {"k": 7}}
+	h := newHarness(t, 1, storage.Options{}, Config{
+		AV: av, View: view, Peers: []wire.SiteID{2, 3},
+	})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	g := h.plane.Global()
+	row := g.Key("k")
+	if row == nil {
+		t.Fatal("k missing from global view")
+	}
+	if row.Amount != 100 || row.AVAvail != 30 || row.AVHeld != 5 {
+		t.Fatalf("row = %+v", row)
+	}
+	if row.KnownAV != 30+10+7 {
+		t.Fatalf("KnownAV = %d", row.KnownAV)
+	}
+	if row.PeerAV[2] != 10 || row.PeerAV[3] != 7 {
+		t.Fatalf("PeerAV = %v", row.PeerAV)
+	}
+	if g.Key("absent") != nil {
+		t.Fatal("phantom row")
+	}
+}
+
+func TestWaitForWrongSiteRejected(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.plane.WaitFor(waitCtx(t), Token{Site: 2, LSN: 1}); !errors.Is(err, ErrWrongSite) {
+		t.Fatalf("err = %v, want ErrWrongSite", err)
+	}
+}
+
+func TestMonotonicWatermark(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			h.eng.ApplyDelta("k", 1) //nolint:errcheck
+		}
+	}()
+	for {
+		s := h.plane.Stock()
+		if s.AppliedLSN < last {
+			t.Errorf("watermark regressed: %d after %d", s.AppliedLSN, last)
+			break
+		}
+		last = s.AppliedLSN
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				h.eng.ApplyDelta("k", 1) //nolint:errcheck
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := h.plane.Stock()
+				s.Amount("k")
+				h.plane.Hot()
+				h.plane.Global()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.plane.Stock().Amount("k"); v != 400 {
+		t.Fatalf("k = %d, want 400", v)
+	}
+}
+
+// --- RYW token edge cases ---
+
+// An aborted transaction advances nothing: no token is minted for it,
+// and a token minted from the pre-abort cursor is still immediately
+// satisfiable (the abort neither advances nor regresses the
+// watermark).
+func TestRYWTokenAroundAbortedTxn(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	before := h.eng.LastLSN()
+	tok := Mint(1, before)
+
+	tm := txn.NewManager(h.eng, lockmgr.Options{WaitTimeout: time.Second})
+	tx := tm.Begin()
+	if _, err := tx.ApplyDelta(context.Background(), "k", -5); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	if h.eng.LastLSN() != before {
+		t.Fatalf("abort advanced the cursor: %d -> %d", before, h.eng.LastLSN())
+	}
+	// The pre-abort token is satisfied without waiting, and the model
+	// shows no trace of the aborted write.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := h.plane.WaitFor(ctx, tok); err != nil {
+		t.Fatalf("pre-abort token not satisfied: %v", err)
+	}
+	if v, _ := h.plane.Stock().Amount("k"); v != 10 {
+		t.Fatalf("k = %d, aborted delta leaked into the model", v)
+	}
+}
+
+// A token for an LSN the site has not produced yet expires at the
+// caller's deadline — and succeeds later once the write actually
+// lands.
+func TestRYWTokenFutureLSNExpires(t *testing.T) {
+	h := newHarness(t, 1, storage.Options{}, Config{})
+	if err := h.eng.Put(storage.Record{Key: "k", Amount: 0}); err != nil {
+		t.Fatal(err)
+	}
+	future := Mint(1, h.eng.LastLSN()+3)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := h.plane.WaitFor(ctx, future); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if h.plane.Stats().RYWTimeouts != 1 {
+		t.Fatalf("timeouts = %d", h.plane.Stats().RYWTimeouts)
+	}
+	// Produce the missing LSNs; the same token is now satisfiable.
+	for i := 0; i < 3; i++ {
+		if _, err := h.eng.ApplyDelta("k", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.plane.WaitFor(waitCtx(t), future); err != nil {
+		t.Fatalf("token still unsatisfied after the writes: %v", err)
+	}
+	if h.plane.Stats().RYWViolations != 0 {
+		t.Fatalf("violations = %d", h.plane.Stats().RYWViolations)
+	}
+}
+
+// A token survives a site restart: the durable engine recovers the
+// cursor past the token's LSN, and the rebuilt plane satisfies the
+// replayed token immediately — with the token's write visible.
+func TestRYWTokenReplayAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*storage.Engine, *Plane) {
+		eng, err := storage.Open(storage.Options{Dir: dir, NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		feed := eventlog.New(64)
+		eng.SetApplyObserver(func(lsn uint64, ops []storage.Op) {
+			feed.Append(eventlog.Event{Site: 1, Type: EventType, LSN: lsn,
+				Payload: append([]storage.Op(nil), ops...)})
+		})
+		plane, err := New(Config{Site: 1, Engine: eng, Feed: feed})
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		return eng, plane
+	}
+	eng, plane := open()
+	if err := eng.Put(storage.Record{Key: "k", Amount: 7}); err != nil {
+		t.Fatal(err)
+	}
+	tok := Mint(1, eng.LastLSN())
+	if err := plane.WaitFor(waitCtx(t), tok); err != nil {
+		t.Fatal(err)
+	}
+	plane.Close()
+	eng.Close()
+
+	eng2, plane2 := open()
+	defer func() {
+		plane2.Close()
+		eng2.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := plane2.WaitFor(ctx, tok); err != nil {
+		t.Fatalf("replayed token not satisfied after restart: %v", err)
+	}
+	if v, ok := plane2.Stock().Amount("k"); !ok || v != 7 {
+		t.Fatalf("k = %d %v after restart", v, ok)
+	}
+}
+
+func TestWaitForOnClosedPlane(t *testing.T) {
+	eng, err := storage.Open(storage.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	plane, err := New(Config{Site: 1, Engine: eng, Feed: eventlog.New(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- plane.WaitFor(context.Background(), Token{Site: 1, LSN: 100})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	plane.Close()
+	plane.Close() // idempotent
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter leaked past Close")
+	}
+}
+
+func TestTokenStringParseRoundTrip(t *testing.T) {
+	tok := Mint(3, 12345)
+	if tok.String() != "3:12345" {
+		t.Fatalf("string = %q", tok.String())
+	}
+	back, err := ParseToken(tok.String())
+	if err != nil || back != tok {
+		t.Fatalf("roundtrip = %+v, %v", back, err)
+	}
+	for _, bad := range []string{"", "3", "x:1", "3:y", "3:"} {
+		if _, err := ParseToken(bad); err == nil {
+			t.Fatalf("ParseToken(%q) accepted", bad)
+		}
+	}
+	if !(Token{}).IsZero() || Mint(1, 2).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	_ = fmt.Sprintf("%v", tok)
+}
+
+func TestAccessorsAndStalenessAge(t *testing.T) {
+	h := newHarness(t, 7, storage.Options{}, Config{})
+	if got := h.plane.Site(); got != 7 {
+		t.Fatalf("Site() = %d, want 7", got)
+	}
+	if h.plane.LagHistogram() == nil || h.plane.WaitHistogram() == nil {
+		t.Fatal("histograms must exist from New")
+	}
+	if err := h.eng.Put(storage.Record{Key: "a", Amount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.plane.WaitCaughtUp(waitCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	s := h.plane.Stock()
+	if age := s.Age(s.AsOf.Add(3 * time.Second)); age != 3*time.Second {
+		t.Fatalf("Age = %v, want 3s", age)
+	}
+	if h.plane.LagHistogram().Snapshot().Count == 0 {
+		t.Fatal("publish recorded no lag sample")
+	}
+}

@@ -1,0 +1,49 @@
+package readplane
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"avdb/internal/wire"
+)
+
+// Token is a session token minted on commit: the committing site and a
+// storage LSN at-or-above the commit's batch. Presenting it to the
+// site's Plane via WaitFor gives read-your-writes — and, the watermark
+// being monotonic, monotonic reads — without touching the write path.
+//
+// Tokens are plain values: they serialize to "site:lsn" so clients can
+// carry them across processes (the avnode text protocol returns one
+// per update).
+type Token struct {
+	Site wire.SiteID
+	LSN  uint64
+}
+
+// Mint builds a token for a commit observed at lsn on site.
+func Mint(site wire.SiteID, lsn uint64) Token { return Token{Site: site, LSN: lsn} }
+
+// IsZero reports whether the token carries no commit (failed updates
+// mint none).
+func (t Token) IsZero() bool { return t.LSN == 0 }
+
+// String renders the wire form "site:lsn".
+func (t Token) String() string { return fmt.Sprintf("%d:%d", t.Site, t.LSN) }
+
+// ParseToken parses the wire form produced by String.
+func ParseToken(s string) (Token, error) {
+	site, lsn, ok := strings.Cut(s, ":")
+	if !ok {
+		return Token{}, fmt.Errorf("readplane: token %q: want site:lsn", s)
+	}
+	sid, err := strconv.ParseUint(site, 10, 32)
+	if err != nil {
+		return Token{}, fmt.Errorf("readplane: token site %q: %v", site, err)
+	}
+	l, err := strconv.ParseUint(lsn, 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("readplane: token lsn %q: %v", lsn, err)
+	}
+	return Token{Site: wire.SiteID(sid), LSN: l}, nil
+}

@@ -87,7 +87,7 @@ func (cfg Config) withDefaults() Config {
 // about the system under test, not a harness failure (those are the
 // error return of Run).
 type Violation struct {
-	Oracle string // conservation | no-mint | atomicity | history | convergence | obligations | unexpected-error
+	Oracle string // conservation | no-mint | atomicity | history | convergence | obligations | read-plane | unexpected-error
 	Detail string
 }
 
@@ -253,6 +253,7 @@ func Run(cfg Config) (Result, error) {
 			h.omu.Unlock()
 		},
 		EscrowTransfers:    true,
+		ReadPlane:          true,
 		CallTimeout:        250 * time.Millisecond,
 		RetransmitInterval: 25 * time.Millisecond,
 		RequestTimeout:     250 * time.Millisecond,
@@ -308,8 +309,9 @@ func (h *harness) run(steps []chaos.Step) (Result, error) {
 		}
 		if !c.SiteDown(idx) {
 			nOut := h.outcomeCount()
+			var opRes core.Result
 			var opErr error
-			if err := h.step(func() { _, opErr = c.Update(ctx, idx, key, delta) }); err != nil {
+			if err := h.step(func() { opRes, opErr = c.Update(ctx, idx, key, delta) }); err != nil {
 				return res, err
 			}
 			out := classify(opErr)
@@ -340,6 +342,9 @@ func (h *harness) run(steps []chaos.Step) (Result, error) {
 						applied[o.Site] += delta
 					}
 				}
+			}
+			if res.Violation == nil && out == opCommit {
+				res.Violation = h.checkRYW(idx, opRes)
 			}
 			if res.Violation != nil {
 				break
@@ -508,6 +513,83 @@ func (h *harness) checkNoMint() *Violation {
 	return nil
 }
 
+// checkRYW asserts read-your-writes after a committed operation: the
+// token minted by the commit must be satisfiable at the origin site's
+// read plane. The wait deadline is real time on purpose — the plane's
+// applier free-runs outside the settle/advance scheduler and its feed
+// log is not part of the hashed trace, so registering a virtual-clock
+// timer here would perturb bit-reproducibility.
+func (h *harness) checkRYW(idx int, opRes core.Result) *Violation {
+	s := h.c.Sites[idx]
+	p := s.ReadPlane()
+	if p == nil || opRes.LSN == 0 {
+		return nil
+	}
+	wctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := p.WaitFor(wctx, s.Token(opRes)); err != nil {
+		return &Violation{Oracle: "read-plane",
+			Detail: fmt.Sprintf("site %d: RYW token %v unsatisfied after commit: %v", idx, s.Token(opRes), err)}
+	}
+	if n := p.Stats().RYWViolations; n != 0 {
+		return &Violation{Oracle: "read-plane",
+			Detail: fmt.Sprintf("site %d: %d RYW waits woke before the model applied their LSN", idx, n)}
+	}
+	return nil
+}
+
+// checkReadPlane is the post-quiescence read-plane oracle: every
+// materialized stock view must converge to exactly its authoritative
+// engine's state (no stale, phantom, or missing keys), and no
+// read-your-writes wait may ever have been satisfied by a model that
+// had not applied the token's LSN. Deadlines are real time for the
+// same reason as checkRYW.
+func (h *harness) checkReadPlane() *Violation {
+	for i, s := range h.c.Sites {
+		p := s.ReadPlane()
+		if p == nil {
+			continue
+		}
+		wctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		err := p.WaitCaughtUp(wctx)
+		cancel()
+		if err != nil {
+			return &Violation{Oracle: "read-plane",
+				Detail: fmt.Sprintf("site %d: stock view never caught up to its engine: %v", i, err)}
+		}
+		amounts, lsn, err := s.Engine().SnapshotAmounts()
+		if err != nil {
+			return &Violation{Oracle: "read-plane",
+				Detail: fmt.Sprintf("site %d: engine snapshot: %v", i, err)}
+		}
+		snap := p.Stock()
+		if snap.AppliedLSN < lsn {
+			return &Violation{Oracle: "read-plane",
+				Detail: fmt.Sprintf("site %d: watermark %d behind engine LSN %d after catch-up", i, snap.AppliedLSN, lsn)}
+		}
+		for k, want := range amounts {
+			got, ok := snap.Amount(k)
+			if !ok {
+				return &Violation{Oracle: "read-plane",
+					Detail: fmt.Sprintf("site %d: key %s missing from stock view (engine holds %d)", i, k, want)}
+			}
+			if got != want {
+				return &Violation{Oracle: "read-plane",
+					Detail: fmt.Sprintf("site %d: key %s stock view %d, engine %d", i, k, got, want)}
+			}
+		}
+		if snap.Len() != len(amounts) {
+			return &Violation{Oracle: "read-plane",
+				Detail: fmt.Sprintf("site %d: stock view has %d keys, engine %d (phantom rows)", i, snap.Len(), len(amounts))}
+		}
+		if n := p.Stats().RYWViolations; n != 0 {
+			return &Violation{Oracle: "read-plane",
+				Detail: fmt.Sprintf("site %d: %d RYW waits woke before the model applied their LSN", i, n)}
+		}
+	}
+	return nil
+}
+
 // checkOracles evaluates every post-quiescence invariant.
 func (h *harness) checkOracles() *Violation {
 	c := h.c
@@ -599,7 +681,8 @@ func (h *harness) checkOracles() *Violation {
 			}
 		}
 	}
-	return nil
+
+	return h.checkReadPlane()
 }
 
 // traceHash digests the run's observable schedule: per-site event logs

@@ -20,6 +20,7 @@ import (
 	"avdb/internal/eventlog"
 	"avdb/internal/failure"
 	"avdb/internal/lockmgr"
+	"avdb/internal/readplane"
 	"avdb/internal/replica"
 	"avdb/internal/storage"
 	"avdb/internal/strategy"
@@ -116,6 +117,15 @@ type Config struct {
 	// outcome (see twopc.Options.Observer). The simulator's atomicity
 	// oracle hangs off this.
 	TxnObserver func(twopc.Outcome)
+	// ReadPlane materializes the event-sourced read models (per-site
+	// stock, cross-site global position, top-K hot keys) off the
+	// storage apply stream, with read-your-writes session tokens. The
+	// feed is a dedicated eventlog (not Events, which stays a pure
+	// observability surface), so enabling it never perturbs recorded
+	// protocol traces.
+	ReadPlane bool
+	// ReadPlaneTopK bounds the hot view (default 10).
+	ReadPlaneTopK int
 }
 
 // Site is one running node.
@@ -130,6 +140,8 @@ type Site struct {
 	accel *core.Accelerator
 	node  transport.Node
 	det   *failure.Detector
+	feed  *eventlog.Log    // apply stream feeding the read plane
+	plane *readplane.Plane // nil unless cfg.ReadPlane
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -223,8 +235,45 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		XferSalt:       cfg.XferSalt,
 	}, s.avt, s.tm, s.iu, s.repl)
 
+	if cfg.ReadPlane {
+		// The feed must be live before the plane snapshots the engine:
+		// the plane subscribes first, then materializes, so no batch
+		// falls between its snapshot and its tail.
+		s.feed = eventlog.New(4096)
+		s.feed.SetNow(cfg.Clock.Now)
+		feed := s.feed
+		id := cfg.ID
+		eng.SetApplyObserver(func(lsn uint64, ops []storage.Op) {
+			// Copy: the batch slice belongs to the committing caller.
+			feed.Append(eventlog.Event{
+				Site: id, Type: readplane.EventType, LSN: lsn,
+				Payload: append([]storage.Op(nil), ops...),
+			})
+		})
+		s.plane, err = readplane.New(readplane.Config{
+			Site:   cfg.ID,
+			Engine: eng,
+			Feed:   s.feed,
+			AV:     s.avt,
+			View:   s.accel.View(),
+			Peers:  cfg.Peers,
+			Now:    cfg.Clock.Now,
+			TopK:   cfg.ReadPlaneTopK,
+		})
+		if err != nil {
+			if s.avs != nil {
+				s.avs.Close()
+			}
+			eng.Close()
+			return nil, err
+		}
+	}
+
 	node, err := network.Open(cfg.ID, s.handle)
 	if err != nil {
+		if s.plane != nil {
+			s.plane.Close()
+		}
 		if s.avs != nil {
 			s.avs.Close()
 		}
@@ -516,6 +565,16 @@ func (s *Site) Replicator() *replica.Replicator { return s.repl }
 // TwoPC returns the Immediate-Update engine.
 func (s *Site) TwoPC() *twopc.Engine { return s.iu }
 
+// ReadPlane returns the site's read plane, nil unless Config.ReadPlane
+// was set.
+func (s *Site) ReadPlane() *readplane.Plane { return s.plane }
+
+// Token mints a read-your-writes session token from an update result.
+// The zero token (failed update) satisfies trivially.
+func (s *Site) Token(res core.Result) readplane.Token {
+	return readplane.Mint(s.cfg.ID, res.LSN)
+}
+
 // Close stops background loops, detaches from the network, and closes
 // the storage engine. Close is idempotent; repeated calls return the
 // first result.
@@ -523,6 +582,9 @@ func (s *Site) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
+		if s.plane != nil {
+			s.plane.Close()
+		}
 		if err := s.node.Close(); err != nil {
 			s.closeErr = err
 		}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avdb/internal/btree"
@@ -72,6 +73,17 @@ type Engine struct {
 	stripes [numStripes]stripe
 	log     *wal.Log // nil when in-memory; internally synchronized
 	closed  bool     // guarded by holding all stripe locks to set, any one to read
+
+	// lastLSN is the highest LSN whose batch has been applied to the
+	// table. Durable engines take LSNs from the WAL; in-memory engines
+	// mint dense virtual LSNs from this counter so downstream consumers
+	// (the read plane) see a uniform cursor either way.
+	lastLSN atomic.Uint64
+	// observer, when set, is called for every applied batch while the
+	// batch's stripe locks are still held (so observation order for
+	// conflicting batches matches apply order). Set before concurrent
+	// use; it must not call back into the engine.
+	observer func(lsn uint64, ops []Op)
 }
 
 // Open opens (or creates, or recovers) an engine.
@@ -115,8 +127,22 @@ func Open(opts Options) (*Engine, error) {
 		log.Close()
 		return nil, err
 	}
+	e.lastLSN.Store(log.NextLSN() - 1)
 	return e, nil
 }
+
+// SetApplyObserver installs fn to be called for every applied batch
+// with the batch's LSN and ops. It is called while the batch's stripe
+// locks are held: keep it brief and never call back into the engine.
+// Install before the engine sees concurrent use.
+func (e *Engine) SetApplyObserver(fn func(lsn uint64, ops []Op)) {
+	e.observer = fn
+}
+
+// LastLSN returns the LSN of the most recently applied batch (0 before
+// any batch). For in-memory engines this is a virtual counter with the
+// same density guarantees as WAL LSNs.
+func (e *Engine) LastLSN() uint64 { return e.lastLSN.Load() }
 
 // storageKey returns the key an op actually occupies in the table
 // (meta ops live under MetaPrefix).
@@ -272,6 +298,37 @@ func (e *Engine) Scan(fn func(rec Record) bool) error {
 	return decodeErr
 }
 
+// SnapshotAmounts returns every user row's amount together with the
+// LSN of the last applied batch, as one consistent pair: all stripe
+// read locks are held for the scan, so every batch with LSN <= the
+// returned cursor is fully reflected in the map and no later batch is.
+// The read plane bootstraps (and resynchronizes) from this.
+func (e *Engine) SnapshotAmounts() (map[string]int64, uint64, error) {
+	e.rlockAll()
+	defer e.runlockAll()
+	if e.closed {
+		return nil, 0, ErrClosed
+	}
+	out := make(map[string]int64)
+	var decodeErr error
+	e.mergeScan("", func(k string, v []byte) bool {
+		if len(k) >= len(MetaPrefix) && k[:len(MetaPrefix)] == MetaPrefix {
+			return true
+		}
+		var rec Record
+		if err := decodeValue(k, v, &rec); err != nil {
+			decodeErr = err
+			return false
+		}
+		out[k] = rec.Amount
+		return true
+	})
+	if decodeErr != nil {
+		return nil, 0, decodeErr
+	}
+	return out, e.lastLSN.Load(), nil
+}
+
 // Apply validates and applies a batch of mutations atomically: either
 // every op is applied (and logged as one WAL record) or none is. It is
 // the single write entry point — Put/Delete/ApplyDelta are conveniences
@@ -355,8 +412,21 @@ func (e *Engine) applyBatch(ops []Op) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
+		// Batches on disjoint stripes race here; keep the max (a batch
+		// never observes a lastLSN below its own once it completes).
+		for {
+			cur := e.lastLSN.Load()
+			if lsn <= cur || e.lastLSN.CompareAndSwap(cur, lsn) {
+				break
+			}
+		}
+	} else {
+		lsn = e.lastLSN.Add(1)
 	}
 	e.applyOps(ops)
+	if e.observer != nil {
+		e.observer(lsn, ops)
+	}
 	return lsn, nil
 }
 

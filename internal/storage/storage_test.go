@@ -490,3 +490,80 @@ func TestUserKeyCannotEnterMetaNamespace(t *testing.T) {
 		t.Fatal("user row in meta namespace accepted")
 	}
 }
+
+func TestApplyObserverSeesEveryBatchWithDenseLSNs(t *testing.T) {
+	e := memEngine(t)
+	var got []uint64
+	var opCounts []int
+	e.SetApplyObserver(func(lsn uint64, ops []Op) {
+		got = append(got, lsn)
+		opCounts = append(opCounts, len(ops))
+	})
+	if err := e.Put(Record{Key: "a", Amount: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply(DeltaOp("a", 2), MetaPutOp("wm", []byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply(MetaPutOp("wm", []byte{2})); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("observer LSNs = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(opCounts, []int{1, 2, 1}) {
+		t.Fatalf("observer op counts = %v", opCounts)
+	}
+	if e.LastLSN() != 3 {
+		t.Fatalf("LastLSN = %d, want 3", e.LastLSN())
+	}
+}
+
+func TestLastLSNSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e := diskEngine(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := e.Put(Record{Key: fmt.Sprintf("k%d", i), Amount: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	last := e.LastLSN()
+	if last != 5 {
+		t.Fatalf("LastLSN = %d, want 5", last)
+	}
+	e.Close()
+	e2 := diskEngine(t, dir)
+	defer e2.Close()
+	if e2.LastLSN() != last {
+		t.Fatalf("LastLSN after recovery = %d, want %d", e2.LastLSN(), last)
+	}
+	// New batches continue the same sequence.
+	if err := e2.Put(Record{Key: "k5", Amount: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if e2.LastLSN() != last+1 {
+		t.Fatalf("LastLSN after new batch = %d, want %d", e2.LastLSN(), last+1)
+	}
+}
+
+func TestSnapshotAmountsConsistentPair(t *testing.T) {
+	e := memEngine(t)
+	if err := e.Put(Record{Key: "a", Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Apply(PutOp(Record{Key: "b", Amount: 20}), MetaPutOp("wm", []byte{1})); err != nil {
+		t.Fatal(err)
+	}
+	amounts, lsn, err := e.SnapshotAmounts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != e.LastLSN() {
+		t.Fatalf("snapshot lsn = %d, engine lsn = %d", lsn, e.LastLSN())
+	}
+	want := map[string]int64{"a": 10, "b": 20}
+	if !reflect.DeepEqual(amounts, want) {
+		t.Fatalf("amounts = %v, want %v (meta rows must be excluded)", amounts, want)
+	}
+}
