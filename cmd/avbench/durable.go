@@ -18,6 +18,7 @@ import (
 type durableResult struct {
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	Procs     int    `json:"go_max_procs"`
 
 	// One goroutine: every op waits out its own fsync, so ~1 fsync/op.
 	// This is the amortization baseline.
@@ -41,6 +42,7 @@ func runDurable(path string) error {
 	res := durableResult{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		Procs:     runtime.GOMAXPROCS(0),
 	}
 
 	serial := testing.Benchmark(benchDurableDecrement(false, nil))

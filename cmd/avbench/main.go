@@ -9,18 +9,26 @@
 //
 // It can also snapshot the fast-path micro-benchmarks as JSON (the
 // committed BENCH_2.json), the durable/group-commit fast path (the
-// committed BENCH_4.json), or the read plane's serving numbers (the
-// committed BENCH_5.json):
+// committed BENCH_4.json), the read plane's serving numbers (the
+// committed BENCH_5.json), or the multi-core scaling matrix of the
+// durable path across GOMAXPROCS 1/4/16 with the epoch commit pipeline
+// off and on (the committed BENCH_6.json):
 //
 //	avbench -perf BENCH_2.json
 //	avbench -durable BENCH_4.json
 //	avbench -reads BENCH_5.json
+//	avbench -matrix BENCH_6.json
+//
+// -procs pins GOMAXPROCS for the whole run (recorded in every JSON
+// snapshot); with -matrix it collapses the GOMAXPROCS axis to that
+// single point.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"avdb/internal/experiment"
 )
@@ -36,8 +44,14 @@ func main() {
 		reads    = flag.String("reads", "", `write a read-plane snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
 		readFrac = flag.Float64("read-frac", 0.9, "fraction of reads in the -reads mixed workload")
 		readOps  = flag.Int("read-ops", 5000, "mixed operations in the -reads workload")
+		matrix   = flag.String("matrix", "", `write the multi-core scaling matrix (JSON) to this file ("-" for stdout) instead of sweeping`)
+		procs    = flag.Int("procs", 0, "pin GOMAXPROCS for the run (0 = runtime default; with -matrix, restricts the axis to this value)")
 	)
 	flag.Parse()
+
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	if *perf != "" {
 		if err := runPerf(*perf); err != nil {
@@ -55,6 +69,17 @@ func main() {
 	}
 	if *reads != "" {
 		if err := runReads(*reads, *readFrac, *readOps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *matrix != "" {
+		axis := []int{1, 4, 16}
+		if *procs > 0 {
+			axis = []int{*procs}
+		}
+		if err := runMatrix(*matrix, axis); err != nil {
 			fmt.Fprintln(os.Stderr, "avbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"avdb/internal/avstore"
+	"avdb/internal/epoch"
+	"avdb/internal/metrics"
+	"avdb/internal/wal"
+)
+
+// matrixResult is the schema of the BENCH_6.json snapshot: the
+// multi-core scaling matrix for the durable decrement fast path,
+// GOMAXPROCS x commit pipeline. Every cell drives the same fixed pool
+// of synchronous workers (each op waits out its own durability ack), so
+// the two pipelines are compared at identical offered concurrency:
+//
+//   - epochs off: group-commit WAL, one sync round per batch of waiters;
+//   - epochs on: acks ride epoch boundaries, one fsync per closed epoch,
+//     so fsyncs/op is bounded by interval/throughput instead of batch
+//     luck.
+//
+// The headline is epochs_on fsyncs_per_op at go_max_procs >= 4 staying
+// at or below 0.1 while ack_wait_p99_ns stays within a few epoch
+// intervals.
+type matrixResult struct {
+	GoVersion       string  `json:"go_version"`
+	NumCPU          int     `json:"num_cpu"`
+	Workers         int     `json:"workers"`
+	OpsPerWorker    int     `json:"ops_per_worker"`
+	EpochIntervalUS int     `json:"epoch_interval_us"`
+	Cells           []*cell `json:"cells"`
+}
+
+type cell struct {
+	GoProcs int     `json:"go_max_procs"`
+	Epochs  bool    `json:"epochs"`
+	Ops     int     `json:"ops"`
+	NsOp    float64 `json:"ns_op"`
+
+	// Fsyncs issued during the measured window divided by ops: the
+	// amortization factor of the active commit pipeline.
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`
+
+	// Epoch-mode only (0 when epochs are off): commits acknowledged per
+	// closed epoch, i.e. ops per fsync from the epoch manager's own
+	// accounting.
+	CommitsPerEpoch float64 `json:"commits_per_epoch"`
+
+	// Per-op acknowledgement latency (request start to durable ack) as
+	// observed by the workers, uniform across both pipelines.
+	AckWaitP50Ns int64 `json:"ack_wait_p50_ns"`
+	AckWaitP99Ns int64 `json:"ack_wait_p99_ns"`
+}
+
+// runMatrix measures the scaling matrix and writes it as JSON to path.
+// procsList is the GOMAXPROCS axis (the -procs flag, when set, is
+// prepended by the caller so ad-hoc runs can pin a single point).
+func runMatrix(path string, procsList []int) error {
+	const (
+		workers      = 32
+		opsPerWorker = 250
+		intervalUS   = 200
+	)
+	res := matrixResult{
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Workers:         workers,
+		OpsPerWorker:    opsPerWorker,
+		EpochIntervalUS: intervalUS,
+	}
+	for _, procs := range procsList {
+		for _, epochs := range []bool{false, true} {
+			c, err := runMatrixCell(procs, epochs, workers, opsPerWorker, intervalUS)
+			if err != nil {
+				return fmt.Errorf("procs=%d epochs=%v: %w", procs, epochs, err)
+			}
+			res.Cells = append(res.Cells, c)
+		}
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// runMatrixCell measures one (GOMAXPROCS, pipeline) point: workers
+// synchronous goroutines each performing opsPerWorker durable AV
+// decrements (acquire+consume, real fsyncs) against one journaled
+// store.
+func runMatrixCell(procs int, epochs bool, workers, opsPerWorker, intervalUS int) (*cell, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	dir, err := os.MkdirTemp("", "avbench-matrix")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ws := &wal.Stats{}
+	est := &epoch.Stats{}
+	opts := avstore.Options{Stats: ws}
+	if epochs {
+		opts.EpochInterval = time.Duration(intervalUS) * time.Microsecond
+		opts.EpochStats = est
+	}
+	s, err := avstore.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Define("k", 1<<50); err != nil {
+		return nil, err
+	}
+
+	ackWait := metrics.NewHistogram()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		workErr error
+	)
+	startFsyncs := ws.Fsyncs.Load()
+	startEpochs, startCommits := est.Epochs.Load(), est.Commits.Load()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				opStart := time.Now()
+				ok, err := s.Acquire("k", 1)
+				if err == nil && ok {
+					err = s.Consume("k", 1)
+				}
+				if err != nil {
+					mu.Lock()
+					if workErr == nil {
+						workErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				ackWait.Observe(time.Since(opStart))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return nil, workErr
+	}
+
+	ops := workers * opsPerWorker
+	c := &cell{
+		GoProcs: procs,
+		Epochs:  epochs,
+		Ops:     ops,
+		NsOp:    float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+	c.FsyncsPerOp = float64(ws.Fsyncs.Load()-startFsyncs) / float64(ops)
+	if closed := est.Epochs.Load() - startEpochs; closed > 0 {
+		c.CommitsPerEpoch = float64(est.Commits.Load()-startCommits) / float64(closed)
+	}
+	snap := ackWait.Snapshot()
+	c.AckWaitP50Ns = snap.Percentile(50).Nanoseconds()
+	c.AckWaitP99Ns = snap.Percentile(99).Nanoseconds()
+	return c, nil
+}

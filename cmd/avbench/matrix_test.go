@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunMatrixCellBothPipelines runs one small cell per pipeline and
+// checks the accounting that BENCH_6.json is built from: real ops, a
+// positive fsync ratio, epoch stats only in epoch mode.
+func TestRunMatrixCellBothPipelines(t *testing.T) {
+	for _, epochs := range []bool{false, true} {
+		c, err := runMatrixCell(2, epochs, 4, 10, 200)
+		if err != nil {
+			t.Fatalf("epochs=%v: %v", epochs, err)
+		}
+		if c.Ops != 40 || c.NsOp <= 0 {
+			t.Fatalf("epochs=%v: ops=%d ns_op=%v", epochs, c.Ops, c.NsOp)
+		}
+		if c.FsyncsPerOp <= 0 {
+			t.Fatalf("epochs=%v: no fsyncs recorded", epochs)
+		}
+		if epochs && c.CommitsPerEpoch <= 0 {
+			t.Fatal("epoch cell missing commits_per_epoch")
+		}
+		if !epochs && c.CommitsPerEpoch != 0 {
+			t.Fatalf("group-commit cell reports commits_per_epoch %v", c.CommitsPerEpoch)
+		}
+		if c.AckWaitP99Ns < c.AckWaitP50Ns {
+			t.Fatalf("epochs=%v: p99 %d below p50 %d", epochs, c.AckWaitP99Ns, c.AckWaitP50Ns)
+		}
+	}
+}
+
+// TestRunMatrixWritesSnapshot exercises the full -matrix path on a
+// single-point axis and validates the JSON schema.
+func TestRunMatrixWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix cells are fsync-bound")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_6.json")
+	if err := runMatrix(path, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res matrixResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("want 2 cells (epochs off/on), got %d", len(res.Cells))
+	}
+	off, on := res.Cells[0], res.Cells[1]
+	if off.Epochs || !on.Epochs || off.GoProcs != 2 || on.GoProcs != 2 {
+		t.Fatalf("unexpected cell order: %+v", res.Cells)
+	}
+	if on.FsyncsPerOp >= off.FsyncsPerOp {
+		t.Errorf("epochs did not amortize: on %.4f vs off %.4f fsyncs/op",
+			on.FsyncsPerOp, off.FsyncsPerOp)
+	}
+}

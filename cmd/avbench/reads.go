@@ -24,6 +24,7 @@ import (
 type readsResult struct {
 	GoVersion string `json:"go_version"`
 	NumCPU    int    `json:"num_cpu"`
+	Procs     int    `json:"go_max_procs"`
 
 	Sites    int     `json:"sites"`
 	Items    int     `json:"items"`
@@ -87,6 +88,7 @@ func runReads(path string, readFrac float64, ops int, seed uint64) error {
 	res := readsResult{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		Procs:     runtime.GOMAXPROCS(0),
 		Sites:     sites,
 		Items:     items,
 		ReadFrac:  readFrac,

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEpochSummaryDerivesFromDump(t *testing.T) {
+	dump := strings.Join([]string{
+		"# counters",
+		"epoch_current 42",
+		"epoch_durable 41",
+		"epoch_closed_total 40",
+		"epoch_commits_total 1200",
+		"epoch_early_closes_total 3",
+		"twopc_cross_epoch_commits 2",
+		"",
+		"# histogram epoch_ack_wait",
+		"epoch_ack_wait_count 1200",
+		"epoch_ack_wait_p50_ns 150000",
+		"epoch_ack_wait_p99_ns 400000",
+		"epoch_ack_wait_max_ns 900000",
+	}, "\n")
+	var out strings.Builder
+	epochSummary(&out, dump)
+	got := out.String()
+	for _, want := range []string{
+		"epoch current 42, durable 41 (lag 1)",
+		"closed 40 epochs covering 1200 commits: 30.0 commits per fsync, 3 early closes",
+		"ack wait p50 150µs, p99 400µs, max 900µs",
+		"cross-epoch 2PC commits 2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEpochSummaryQuietWhenEpochsOff(t *testing.T) {
+	var out strings.Builder
+	epochSummary(&out, "# counters\nwal_fsync_total 7\nepoch_closed_total 0\nepoch_commits_total 0\n")
+	if out.Len() != 0 {
+		t.Fatalf("expected no output for an epochs-off dump, got:\n%s", out.String())
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"avdb/internal/epoch"
 	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/obs"
@@ -66,6 +67,9 @@ func main() {
 		readTopK     = flag.Int("read-topk", 0, "hot-key view size (0 = default)")
 		retransmitMS = flag.Int("retransmit-ms", 0, "inter-site RPC retransmission interval in milliseconds (0 = off; receivers dedup)")
 		syncDelayUS  = flag.Int("wal-sync-delay-us", 0, "group-commit leader stall in microseconds to widen fsync batches (0 = commit immediately)")
+		epochOn      = flag.Bool("epoch", false, "acknowledge durable commits at epoch boundaries (one fsync per epoch) instead of per group-commit round")
+		epochUS      = flag.Int("epoch-interval-us", 200, "epoch length in microseconds (with -epoch)")
+		epochMax     = flag.Int("epoch-max-commits", 0, "close an epoch early once it holds this many commits (0 = default, negative = never)")
 	)
 	flag.Parse()
 
@@ -83,11 +87,17 @@ func main() {
 	// WAL and the AV journal; the histograms (which retain samples) are
 	// attached only when the admin server will actually serve them.
 	walStats := &wal.Stats{}
+	// epochStats aggregates epoch-pipeline counters across the storage
+	// engine and the AV journal (both share one manager configuration).
+	epochStats := &epoch.Stats{}
 	if *admin != "" {
 		tracer = trace.New(*traceBuf)
 		updateLatency = metrics.NewHistogram()
 		walStats.GroupSize = metrics.NewHistogram()
 		walStats.SyncWait = metrics.NewHistogram()
+		epochStats.CommitsPerEpoch = metrics.NewHistogram()
+		epochStats.CloseLatency = metrics.NewHistogram()
+		epochStats.AckWait = metrics.NewHistogram()
 	}
 
 	network := &tcpnet.Network{Cfg: tcpnet.Config{
@@ -120,6 +130,9 @@ func main() {
 		ReadPlaneTopK:     *readTopK,
 		WALMaxSyncDelay:   time.Duration(*syncDelayUS) * time.Microsecond,
 		WALStats:          walStats,
+		EpochInterval:     epochInterval(*epochOn, *epochUS),
+		EpochMaxCommits:   *epochMax,
+		EpochStats:        epochStats,
 	}, network)
 	if err != nil {
 		log.Fatalf("avnode: open site: %v", err)
@@ -148,6 +161,20 @@ func main() {
 		srv.RegisterCounter("wal_records_synced_total", walStats.RecordsSynced.Load)
 		srv.RegisterSizeHistogram("wal_group_commit_size", walStats.GroupSize)
 		srv.RegisterHistogram("wal_sync_wait", walStats.SyncWait)
+		// Epoch-pipeline counters (all zero unless -epoch): one fsync per
+		// closed epoch, so epoch_commits_total / epoch_closed_total is the
+		// live amortization factor.
+		if em := s.Epochs(); em != nil {
+			srv.RegisterCounter("epoch_current", func() int64 { return int64(em.Current()) })
+			srv.RegisterCounter("epoch_durable", func() int64 { return int64(em.Durable()) })
+		}
+		srv.RegisterCounter("epoch_closed_total", epochStats.Epochs.Load)
+		srv.RegisterCounter("epoch_commits_total", epochStats.Commits.Load)
+		srv.RegisterCounter("epoch_early_closes_total", epochStats.EarlyCloses.Load)
+		srv.RegisterCounter("twopc_cross_epoch_commits", s.TwoPC().Stats().CrossEpochCommits.Load)
+		srv.RegisterSizeHistogram("epoch_commits_per_epoch", epochStats.CommitsPerEpoch)
+		srv.RegisterHistogram("epoch_close_latency", epochStats.CloseLatency)
+		srv.RegisterHistogram("epoch_ack_wait", epochStats.AckWait)
 		// Read-plane counters and the /read/* endpoints: how far the
 		// materialized models trail the engine and how read traffic splits
 		// across them.
@@ -190,6 +217,15 @@ func main() {
 		}
 		go serveClient(s, conn, updateLatency)
 	}
+}
+
+// epochInterval maps the -epoch/-epoch-interval-us flag pair onto the
+// site config: zero keeps the per-commit group-commit pipeline.
+func epochInterval(on bool, us int) time.Duration {
+	if !on {
+		return 0
+	}
+	return time.Duration(us) * time.Microsecond
 }
 
 // parsePeers turns "1=h:p,2=h:p" into the peer list and address map.

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"avdb/internal/av"
+	"avdb/internal/clock"
+	"avdb/internal/epoch"
 	"avdb/internal/wal"
 )
 
@@ -77,6 +79,19 @@ type Options struct {
 	MaxSyncDelay time.Duration
 	// Stats passes through to the journal's WAL (shared fsync counters).
 	Stats *wal.Stats
+	// EpochInterval, when positive, rides durable acknowledgements on
+	// epoch boundaries instead of per-op group commits: one covering
+	// fsync per epoch. Record contents and append order are unchanged,
+	// so the escrow discipline (decreases journal-before-ack) survives.
+	EpochInterval time.Duration
+	// EpochMaxCommits closes an epoch early at this many commits
+	// (0 means epoch.DefaultMaxCommits; negative disables).
+	EpochMaxCommits int
+	// Clock drives epoch deadlines (nil means the real clock).
+	Clock clock.Clock
+	// EpochStats, when non-nil, receives epoch counters (shareable with
+	// the storage engine's manager).
+	EpochStats *epoch.Stats
 }
 
 // Store is a durable AV table. It implements core.AVTable.
@@ -94,7 +109,8 @@ type Store struct {
 	mu      sync.Mutex // serializes journal append + table apply pairs
 	tbl     *av.Table
 	journal *wal.Log
-	enc     []byte // scratch encode buffer for journal records; guarded by mu
+	epochs  *epoch.Manager // nil unless EpochInterval > 0
+	enc     []byte         // scratch encode buffer for journal records; guarded by mu
 
 	ckptMu sync.Mutex // serializes whole checkpoints (snapshot + truncate)
 }
@@ -152,7 +168,33 @@ func Open(dir string, opts Options) (*Store, error) {
 		j.Close()
 		return nil, err
 	}
+	if opts.EpochInterval > 0 {
+		s.epochs = epoch.New(epoch.Options{
+			Interval:   opts.EpochInterval,
+			MaxCommits: opts.EpochMaxCommits,
+			Clock:      opts.Clock,
+			Sync:       j.SyncTo,
+			Stats:      opts.EpochStats,
+		})
+	}
 	return s, nil
+}
+
+// Epochs returns the store's epoch manager, nil when epoch commit is
+// off.
+func (s *Store) Epochs() *epoch.Manager { return s.epochs }
+
+// syncTo is the durable-ack wait every journal-backed operation ends
+// with: ride the open epoch when epoch commit is on, otherwise join the
+// per-op group commit. Called after s.mu is released. Checkpoint does
+// NOT use it — a truncation boundary must not wait out an open epoch's
+// interval, and its direct SyncTo is correct either way.
+func (s *Store) syncTo(lsn uint64) error {
+	if s.epochs != nil {
+		_, err := s.epochs.Commit(lsn)
+		return err
+	}
+	return s.journal.SyncTo(lsn)
 }
 
 // applyRecord replays one journal record into the table.
@@ -264,7 +306,7 @@ func (s *Store) Define(key string, initial int64) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // Credit adds fresh available volume durably (an increment's slack or a
@@ -281,7 +323,7 @@ func (s *Store) Credit(key string, n int64) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // Consume destroys n held units durably. The journal record precedes
@@ -300,7 +342,7 @@ func (s *Store) Consume(key string, n int64) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // Debit removes up to n available units for an outbound transfer,
@@ -325,7 +367,7 @@ func (s *Store) Debit(key string, n int64) (int64, error) {
 		return 0, err
 	}
 	s.mu.Unlock()
-	if err := s.journal.SyncTo(lsn); err != nil {
+	if err := s.syncTo(lsn); err != nil {
 		return 0, err
 	}
 	return taken, nil
@@ -350,7 +392,7 @@ func (s *Store) EscrowDebit(key string, xfer uint64, n int64) (int64, error) {
 		return 0, err
 	}
 	s.mu.Unlock()
-	if err := s.journal.SyncTo(lsn); err != nil {
+	if err := s.syncTo(lsn); err != nil {
 		return 0, err
 	}
 	return taken, nil
@@ -382,7 +424,7 @@ func (s *Store) ResolveEscrow(xfer uint64, refund bool) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := s.journal.SyncTo(lsn); err != nil {
+	if err := s.syncTo(lsn); err != nil {
 		return 0, err
 	}
 	return refunded, nil
@@ -413,7 +455,7 @@ func (s *Store) AddObligation(ob av.Obligation) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // CompleteObligation durably discharges the obligation for xfer.
@@ -427,7 +469,7 @@ func (s *Store) CompleteObligation(xfer uint64) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // Obligations returns the outstanding obligations.
@@ -471,7 +513,7 @@ func (s *Store) CreditHeld(key string, n int64) error {
 	if err != nil {
 		return err
 	}
-	return s.journal.SyncTo(lsn)
+	return s.syncTo(lsn)
 }
 
 // Release implements core.AVTable (volatile reservation).
@@ -690,9 +732,18 @@ func decodeSnapshot(data []byte) (uint64, map[string]int64, []av.Escrow, []av.Ob
 	return boundary, balances, escrows, obls, nil
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal. The epoch manager (if any) is
+// flushed first so no committer is left waiting on a boundary whose
+// journal has gone away.
 func (s *Store) Close() error {
+	var err error
+	if s.epochs != nil {
+		err = s.epochs.Close()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.journal.Close()
+	if cerr := s.journal.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -72,6 +72,11 @@ type Config struct {
 	// restarted from its WAL (RestartSite). Durable sites run with fsync
 	// off — the chaos scenarios model process crashes, not disk loss.
 	Dir string
+	// EpochInterval, when positive on a durable cluster, turns on
+	// epoch-based commit on every site (see site.Config.EpochInterval).
+	EpochInterval time.Duration
+	// EpochMaxCommits caps commits per epoch (see site.Config).
+	EpochMaxCommits int
 	// Interceptor, when non-nil, is consulted for every message on the
 	// in-process network — the seam chaos.Injector plugs into.
 	Interceptor transport.Interceptor
@@ -275,6 +280,8 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		sc.StorageDir = filepath.Join(cfg.Dir, fmt.Sprintf("site-%d", id))
 		sc.PersistAV = true
 		sc.NoSync = true
+		sc.EpochInterval = cfg.EpochInterval
+		sc.EpochMaxCommits = cfg.EpochMaxCommits
 	}
 	return sc
 }

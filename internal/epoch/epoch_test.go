@@ -1,0 +1,250 @@
+package epoch
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"avdb/internal/clock"
+	"avdb/internal/metrics"
+)
+
+// fakeSync records calls and the highest LSN requested durable.
+type fakeSync struct {
+	mu    sync.Mutex
+	calls int
+	maxTo uint64
+	err   error
+}
+
+func (f *fakeSync) sync(lsn uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if lsn > f.maxTo {
+		f.maxTo = lsn
+	}
+	return f.err
+}
+
+func (f *fakeSync) snapshot() (int, uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls, f.maxTo
+}
+
+func TestIntervalCloseReleasesCommits(t *testing.T) {
+	fs := &fakeSync{}
+	st := &Stats{CommitsPerEpoch: metrics.NewHistogram(), AckWait: metrics.NewHistogram()}
+	m := New(Options{Interval: time.Millisecond, Sync: fs.sync, Stats: st})
+	defer m.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	epochs := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := m.Commit(uint64(i + 1))
+			if err != nil {
+				t.Errorf("commit %d: %v", i, err)
+			}
+			epochs[i] = ep
+		}(i)
+	}
+	wg.Wait()
+	calls, maxTo := fs.snapshot()
+	if maxTo < n {
+		t.Fatalf("covering sync reached %d, want >= %d", maxTo, n)
+	}
+	if calls >= n {
+		t.Fatalf("%d syncs for %d commits: no amortization", calls, n)
+	}
+	if got := st.Commits.Load(); got != n {
+		t.Fatalf("Commits = %d, want %d", got, n)
+	}
+	if m.Durable() == 0 {
+		t.Fatal("no epoch became durable")
+	}
+	for i, ep := range epochs {
+		if ep == 0 {
+			t.Fatalf("commit %d rode epoch 0", i)
+		}
+		if ep > m.Durable() {
+			t.Fatalf("commit %d released from epoch %d before it was durable (durable=%d)", i, ep, m.Durable())
+		}
+	}
+}
+
+func TestSizeBasedEarlyClose(t *testing.T) {
+	fs := &fakeSync{}
+	st := &Stats{}
+	// Interval far beyond the test deadline: only the size cap can close.
+	m := New(Options{Interval: time.Hour, MaxCommits: 4, Sync: fs.sync, Stats: st})
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := m.Commit(uint64(i + 1)); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st.EarlyCloses.Load() != 1 {
+		t.Fatalf("EarlyCloses = %d, want 1", st.EarlyCloses.Load())
+	}
+	if calls, _ := fs.snapshot(); calls != 1 {
+		t.Fatalf("syncs = %d, want 1", calls)
+	}
+}
+
+func TestVirtualClockClose(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	fs := &fakeSync{}
+	m := New(Options{Interval: 2 * time.Millisecond, Clock: vc, Sync: fs.sync})
+	defer m.Close()
+
+	done := make(chan uint64, 1)
+	go func() {
+		ep, err := m.Commit(7)
+		if err != nil {
+			t.Errorf("commit: %v", err)
+		}
+		done <- ep
+	}()
+	// Wait for the commit to arm the epoch timer, then advance past it.
+	deadline := time.Now().Add(5 * time.Second)
+	for vc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch timer never armed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	vc.Advance(2 * time.Millisecond)
+	select {
+	case ep := <-done:
+		if ep != 1 {
+			t.Fatalf("first epoch numbered %d, want 1", ep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit never released after the virtual interval elapsed")
+	}
+	if _, maxTo := fs.snapshot(); maxTo != 7 {
+		t.Fatalf("synced to %d, want 7", maxTo)
+	}
+}
+
+func TestSyncErrorPropagates(t *testing.T) {
+	boom := errors.New("disk gone")
+	fs := &fakeSync{err: boom}
+	m := New(Options{Interval: time.Millisecond, Sync: fs.sync})
+	defer m.Close()
+	if _, err := m.Commit(1); !errors.Is(err, boom) {
+		t.Fatalf("Commit error = %v, want %v", err, boom)
+	}
+	if m.Durable() != 0 {
+		t.Fatalf("failed epoch published durable %d", m.Durable())
+	}
+}
+
+func TestCloseFlushesOpenEpoch(t *testing.T) {
+	fs := &fakeSync{}
+	m := New(Options{Interval: time.Hour, Sync: fs.sync})
+	released := make(chan error, 1)
+	go func() {
+		_, err := m.Commit(3)
+		released <- err
+	}()
+	// Wait until the commit is enqueued on the open epoch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.mu.Lock()
+		armed := m.cur != nil
+		m.mu.Unlock()
+		if armed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("commit never opened an epoch")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("commit released with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not release the pending commit")
+	}
+	if _, maxTo := fs.snapshot(); maxTo != 3 {
+		t.Fatalf("Close synced to %d, want 3", maxTo)
+	}
+	if _, err := m.Commit(4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Commit after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestEpochNumbersMonotonic(t *testing.T) {
+	fs := &fakeSync{}
+	m := New(Options{Interval: 200 * time.Microsecond, Sync: fs.sync})
+	defer m.Close()
+	var last uint64
+	for i := 0; i < 5; i++ {
+		ep, err := m.Commit(uint64(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep < last {
+			t.Fatalf("epoch regressed: %d after %d", ep, last)
+		}
+		last = ep
+		// Let the epoch close so the next commit opens a fresh one.
+		time.Sleep(time.Millisecond)
+	}
+	if last < 2 {
+		t.Fatalf("expected multiple epochs across spaced commits, got %d", last)
+	}
+	if cur := m.Current(); cur != last+1 && cur != last {
+		t.Fatalf("Current() = %d after epoch %d", cur, last)
+	}
+}
+
+func TestConcurrentCommitsShareSyncs(t *testing.T) {
+	fs := &fakeSync{}
+	m := New(Options{Interval: 500 * time.Microsecond, Sync: fs.sync})
+	defer m.Close()
+	const workers, per = 8, 25
+	var lsn atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := m.Commit(lsn.Add(1)); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	calls, maxTo := fs.snapshot()
+	if maxTo != workers*per {
+		t.Fatalf("synced to %d, want %d", maxTo, workers*per)
+	}
+	if calls >= workers*per/2 {
+		t.Fatalf("%d syncs for %d commits: epochs are not batching", calls, workers*per)
+	}
+}

@@ -51,6 +51,11 @@ type Config struct {
 	Dir string
 	// EventCap bounds each site's event ring (default 1<<14).
 	EventCap int
+	// Epochs forces epoch-based commit on at every site (2ms virtual
+	// interval), so the invariant oracles exercise acknowledgements that
+	// ride epoch boundaries. Off (the default) is byte-identical to
+	// pre-epoch builds: same trace hashes for the same seed.
+	Epochs bool
 
 	// Deliberate-bug knobs for oracle self-tests: when MintAt > 0, at
 	// that tick MintAmount units of the first regular key's AV are
@@ -236,13 +241,21 @@ func Run(cfg Config) (Result, error) {
 		h.logs[i] = eventlog.New(cfg.EventCap)
 		h.logs[i].SetNow(h.clk.Now)
 	}
-	c, err := cluster.New(cluster.Config{
+	var epochInterval time.Duration
+	if cfg.Epochs {
+		// Coarse on the virtual clock: driver ops block on the epoch
+		// boundary, so only the timer can close it and the schedule stays
+		// deterministic.
+		epochInterval = 2 * time.Millisecond
+	}
+	c, err := h.buildCluster(cluster.Config{
 		Sites:              cfg.Sites,
 		Items:              cfg.Items,
 		InitialAmount:      cfg.InitialAmount,
 		NonRegularFraction: cfg.NonRegularFraction,
 		Seed:               cfg.Seed,
 		Dir:                dir,
+		EpochInterval:      epochInterval,
 		Clock:              h.clk,
 		Interceptor:        h.inj,
 		EventsFor:          func(i int) *eventlog.Log { return h.logs[i] },
@@ -270,6 +283,35 @@ func Run(cfg Config) (Result, error) {
 	return h.run(steps)
 }
 
+// buildCluster runs cluster.New while driving the virtual clock: with
+// epoch commit on, seeding blocks on epoch boundaries before the
+// settle/advance scheduler exists, so someone must fire the epoch
+// timers. Setup is a single goroutine committing serially, so each
+// blocked op arms exactly one timer and the advance count (hence the
+// virtual timeline) is deterministic. With epochs off no timer is ever
+// pending and the clock never moves — byte-identical to pre-epoch runs.
+func (h *harness) buildCluster(ccfg cluster.Config) (*cluster.Cluster, error) {
+	type built struct {
+		c   *cluster.Cluster
+		err error
+	}
+	done := make(chan built, 1)
+	go func() {
+		c, err := cluster.New(ccfg)
+		done <- built{c, err}
+	}()
+	for {
+		select {
+		case b := <-done:
+			return b.c, b.err
+		default:
+			if _, ok := h.clk.AdvanceToNext(); !ok {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+}
+
 func (h *harness) run(steps []chaos.Step) (Result, error) {
 	c, cfg := h.c, h.cfg
 	res := Result{Seed: cfg.Seed, Script: steps}
@@ -293,8 +335,14 @@ func (h *harness) run(steps []chaos.Step) (Result, error) {
 		if cfg.MintAt > 0 && tick == cfg.MintAt && len(c.RegularKeys) > 0 {
 			ms := cfg.MintSite % cfg.Sites
 			if !c.SiteDown(ms) {
-				if err := c.Sites[ms].DefineAV(c.RegularKeys[0], cfg.MintAmount); err != nil {
-					return res, fmt.Errorf("sim: mint injection: %w", err)
+				// Under the scheduler: the durable Define may block on an
+				// epoch boundary only a timer can close.
+				var merr error
+				if err := h.step(func() { merr = c.Sites[ms].DefineAV(c.RegularKeys[0], cfg.MintAmount) }); err != nil {
+					return res, err
+				}
+				if merr != nil {
+					return res, fmt.Errorf("sim: mint injection: %w", merr)
 				}
 			}
 		}
@@ -412,6 +460,36 @@ func (h *harness) quiesce(ctx context.Context) error {
 	return nil
 }
 
+// settle waits for the network to reach its fixpoint. With epochs off
+// that is full quiescence (no message in flight, no handler running —
+// the blocking Settle). With epochs on, a handler may park on an epoch
+// boundary that only a virtual-clock advance can close, keeping its
+// inbound message in flight indefinitely — full settle is then
+// unreachable, so the fixpoint is an activity level that holds still:
+// every deliverable message delivered, every handler either finished or
+// timer-parked.
+func (h *harness) settle() {
+	if !h.cfg.Epochs {
+		h.c.Net.Settle()
+		return
+	}
+	prev, stable := -1, 0
+	for {
+		cur := h.c.Net.Activity()
+		if cur == 0 {
+			return
+		}
+		if cur == prev {
+			if stable++; stable >= 2 {
+				return
+			}
+		} else {
+			prev, stable = cur, 0
+		}
+		time.Sleep(stabilityWindow * time.Nanosecond)
+	}
+}
+
 // step runs fn to completion against the settle/advance scheduler: wait
 // for the network to settle, and once fn can only proceed via a timer,
 // jump the virtual clock to the next deadline. Real time passes only in
@@ -431,7 +509,7 @@ func (h *harness) step(fn func()) error {
 			return nil
 		default:
 		}
-		h.c.Net.Settle()
+		h.settle()
 		// Give goroutines unblocked by the settle a moment to either
 		// finish fn or register/stop their next timer, then re-settle;
 		// only advance once the pending-timer set has held still for two
@@ -440,7 +518,7 @@ func (h *harness) step(fn func()) error {
 		if waitDone(done, stabilityWindow*time.Nanosecond) {
 			return nil
 		}
-		h.c.Net.Settle()
+		h.settle()
 		select {
 		case <-done:
 			return nil

@@ -88,6 +88,59 @@ func TestSimMintBugCaught(t *testing.T) {
 	}
 }
 
+// TestSimEpochsHealthy forces epoch-based commit on and expects the
+// same oracles (no-mint, atomicity, convergence, read-plane/RYW) to
+// hold: epochs batch acknowledgements, not effects, so no invariant may
+// move.
+func TestSimEpochsHealthy(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ticks: 60, Epochs: true, Script: []chaos.Step{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("epoch-mode fault-free run violated an invariant: %v", res.Violation)
+	}
+	if res.Commits == 0 {
+		t.Fatal("epoch-mode run committed nothing")
+	}
+}
+
+// TestSimEpochsBitReproducible requires the virtual-clock epoch timers
+// to schedule deterministically: same seed, same trace hash, with
+// epochs on and faults injected.
+func TestSimEpochsBitReproducible(t *testing.T) {
+	cfg := Config{Seed: 7, Ticks: 120, Epochs: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Errorf("epoch-mode trace hash diverged: %#x vs %#x", a.TraceHash, b.TraceHash)
+	}
+	if a.Violation != nil {
+		t.Errorf("unexpected violation: %v", a.Violation)
+	}
+}
+
+// TestSimEpochsSweepSmall sweeps a few seeds with epochs forced on.
+func TestSimEpochsSweepSmall(t *testing.T) {
+	n := 4
+	if testing.Short() {
+		n = 2
+	}
+	failures, err := Sweep(Config{Ticks: 60, Epochs: true}, 100, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("epoch mode seed %d: %v\n%s", f.Seed, f.Violation, f.Report)
+	}
+}
+
 // TestSimSweepSmall sweeps a handful of seeds end to end.
 func TestSimSweepSmall(t *testing.T) {
 	n := 4
@@ -122,13 +175,17 @@ func TestSimSeedSweepNightly(t *testing.T) {
 		}
 		start = v
 	}
-	failures, err := Sweep(Config{}, start, n, os.Stderr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(failures) > 0 {
+	// Sweep both commit pipelines under the same seeds and oracles.
+	for _, mode := range []struct {
+		name   string
+		epochs bool
+	}{{"group-commit", false}, {"epochs", true}} {
+		failures, err := Sweep(Config{Epochs: mode.epochs}, start, n, os.Stderr)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, f := range failures {
-			t.Error(f.Report)
+			t.Errorf("[%s] %s", mode.name, f.Report)
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"avdb/internal/avstore"
 	"avdb/internal/clock"
 	"avdb/internal/core"
+	"avdb/internal/epoch"
 	"avdb/internal/eventlog"
 	"avdb/internal/failure"
 	"avdb/internal/lockmgr"
@@ -53,6 +54,18 @@ type Config struct {
 	// across the storage WAL and the AV journal (exported on /metrics by
 	// avnode when the admin server is enabled).
 	WALStats *wal.Stats
+	// EpochInterval, when positive on a durable site, turns on
+	// epoch-based commit: acknowledgements (storage Apply and AV journal
+	// ops) ride epoch boundaries, one covering fsync per epoch, instead
+	// of per-commit group commits. Zero keeps the per-commit path and
+	// leaves outputs byte-identical to pre-epoch builds.
+	EpochInterval time.Duration
+	// EpochMaxCommits closes an epoch early at this many commits
+	// (0 means epoch.DefaultMaxCommits; negative disables).
+	EpochMaxCommits int
+	// EpochStats, when non-nil, aggregates epoch counters across the
+	// storage engine's and AV journal's managers.
+	EpochStats *epoch.Stats
 	// Policy is the AV selecting/deciding policy (default SODA99).
 	Policy strategy.Policy
 	// Passes bounds AV gathering passes per update.
@@ -158,10 +171,14 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		cfg.Clock = clock.Real{}
 	}
 	eng, err := storage.Open(storage.Options{
-		Dir:          cfg.StorageDir,
-		NoSync:       cfg.NoSync,
-		MaxSyncDelay: cfg.WALMaxSyncDelay,
-		Stats:        cfg.WALStats,
+		Dir:             cfg.StorageDir,
+		NoSync:          cfg.NoSync,
+		MaxSyncDelay:    cfg.WALMaxSyncDelay,
+		Stats:           cfg.WALStats,
+		EpochInterval:   cfg.EpochInterval,
+		EpochMaxCommits: cfg.EpochMaxCommits,
+		Clock:           cfg.Clock,
+		EpochStats:      cfg.EpochStats,
 	})
 	if err != nil {
 		return nil, err
@@ -177,9 +194,13 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 			return nil, fmt.Errorf("site: PersistAV requires StorageDir")
 		}
 		avs, err := avstore.Open(filepath.Join(cfg.StorageDir, "av"), avstore.Options{
-			NoSync:       cfg.NoSync,
-			MaxSyncDelay: cfg.WALMaxSyncDelay,
-			Stats:        cfg.WALStats,
+			NoSync:          cfg.NoSync,
+			MaxSyncDelay:    cfg.WALMaxSyncDelay,
+			Stats:           cfg.WALStats,
+			EpochInterval:   cfg.EpochInterval,
+			EpochMaxCommits: cfg.EpochMaxCommits,
+			Clock:           cfg.Clock,
+			EpochStats:      cfg.EpochStats,
 		})
 		if err != nil {
 			eng.Close()
@@ -199,6 +220,7 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Clock:          cfg.Clock,
 		Observer:       cfg.TxnObserver,
 		IDEpoch:        cfg.TxnIDEpoch,
+		Epochs:         eng.Epochs(),
 	}, s.tm)
 	if cfg.StorageDir != "" {
 		// A durable engine needs durable replication state, or a restart
@@ -552,6 +574,10 @@ func (s *Site) ID() wire.SiteID { return s.cfg.ID }
 
 // Engine returns the local storage engine.
 func (s *Site) Engine() *storage.Engine { return s.eng }
+
+// Epochs returns the storage engine's commit-epoch manager, nil when
+// epoch commit is off.
+func (s *Site) Epochs() *epoch.Manager { return s.eng.Epochs() }
 
 // AV returns the AV table.
 func (s *Site) AV() core.AVTable { return s.avt }

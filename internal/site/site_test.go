@@ -8,7 +8,9 @@ import (
 
 	"avdb/internal/clock"
 	"avdb/internal/core"
+	"avdb/internal/epoch"
 	"avdb/internal/eventlog"
+	"avdb/internal/metrics"
 	"avdb/internal/storage"
 	"avdb/internal/transport/memnet"
 	"avdb/internal/wire"
@@ -640,5 +642,106 @@ func TestReopenReconcilesEscrowObligations(t *testing.T) {
 func TestReopenRequiresStorageDir(t *testing.T) {
 	if _, err := Reopen(Config{ID: 0}, memnet.New(memnet.Options{})); err == nil {
 		t.Fatal("Reopen without StorageDir succeeded")
+	}
+}
+
+// TestEpochModeSiteEndToEnd runs a durable two-site cluster with
+// epoch-based commit on everywhere: Delay Updates (decrements ride the
+// AV journal's epochs), an Immediate Update (2PC votes and acks carry
+// epoch numbers), a read-your-writes token satisfied off an
+// epoch-released commit, and a restart that must recover every
+// acknowledged effect.
+func TestEpochModeSiteEndToEnd(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	st := &epoch.Stats{AckWait: metrics.NewHistogram()}
+	net := memnet.New(memnet.Options{})
+	open := func(id int, network *memnet.Net) *Site {
+		c := Config{
+			ID: wire.SiteID(id), Base: 0,
+			StorageDir: dirs[id], PersistAV: true, NoSync: true,
+			EpochInterval: 200 * time.Microsecond,
+			EpochStats:    st,
+			ReadPlane:     true,
+		}
+		for p := 0; p < 2; p++ {
+			if p != id {
+				c.Peers = append(c.Peers, wire.SiteID(p))
+			}
+		}
+		s, err := Open(c, network)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	sites := []*Site{open(0, net), open(1, net)}
+	for _, s := range sites {
+		if err := s.Seed(
+			storage.Record{Key: "reg", Amount: 600, Class: storage.Regular},
+			storage.Record{Key: "non", Amount: 90, Class: storage.NonRegular},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.DefineAV("reg", 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Delay Update: the zero-communication decrement's ack rode an epoch.
+	res, err := sites[1].Update(bg(), "reg", -40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Commits.Load() == 0 || st.Epochs.Load() == 0 {
+		t.Fatalf("no epoch activity after a durable update: %d commits / %d epochs",
+			st.Commits.Load(), st.Epochs.Load())
+	}
+	if sites[1].Epochs() == nil {
+		t.Fatal("Epochs() accessor nil with epoch commit on")
+	}
+	if sites[1].Epochs().Durable() == 0 {
+		t.Fatal("no epoch durable after an acknowledged update")
+	}
+
+	// RYW: a token minted from the epoch-released commit is satisfiable
+	// (epoch commit keeps the LSN sequence dense).
+	ctx, cancel := context.WithTimeout(bg(), 5*time.Second)
+	defer cancel()
+	if err := sites[1].ReadPlane().WaitFor(ctx, sites[1].Token(res)); err != nil {
+		t.Fatalf("RYW token not satisfied under epoch commit: %v", err)
+	}
+	if v, ok := sites[1].ReadPlane().Stock().Amount("reg"); !ok || v != 560 {
+		t.Fatalf("read plane stock = %d/%v, want 560", v, ok)
+	}
+
+	// Immediate Update: 2PC across epoch-mode sites. Votes/acks carry
+	// epoch numbers on the wire (optional trailing fields).
+	if _, err := sites[1].Update(bg(), "non", -10); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sites {
+		if v, _ := s.Read("non"); v != 80 {
+			t.Fatalf("site %d: non = %d, want 80", s.ID(), v)
+		}
+	}
+
+	if err := sites[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sites[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart site 1: every acknowledged effect must have survived.
+	s2 := open(1, memnet.New(memnet.Options{}))
+	defer s2.Close()
+	if v, _ := s2.Read("reg"); v != 560 {
+		t.Fatalf("recovered reg = %d, want 560", v)
+	}
+	if v, _ := s2.Read("non"); v != 80 {
+		t.Fatalf("recovered non = %d, want 80", v)
+	}
+	if av := s2.AV().Avail("reg"); av != 160 {
+		t.Fatalf("recovered AV = %d, want 160", av)
 	}
 }

@@ -127,6 +127,18 @@ func (n *Net) Settle() {
 	n.actMu.Unlock()
 }
 
+// Activity returns the current number of in-flight messages and
+// still-running inbound handlers. The simulator's epoch-mode scheduler
+// polls this instead of blocking in Settle: with epoch-based commit a
+// handler may park on an epoch boundary that only a virtual-clock
+// advance can close, so full settle (act == 0) may be unreachable while
+// a stable nonzero activity level is the real fixpoint.
+func (n *Net) Activity() int {
+	n.actMu.Lock()
+	defer n.actMu.Unlock()
+	return n.act
+}
+
 // Open implements transport.Network.
 func (n *Net) Open(id wire.SiteID, handler transport.Handler) (transport.Node, error) {
 	n.mu.Lock()

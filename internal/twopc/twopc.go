@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"avdb/internal/clock"
+	"avdb/internal/epoch"
 	"avdb/internal/failure"
 	"avdb/internal/storage"
 	"avdb/internal/trace"
@@ -97,6 +98,14 @@ type Options struct {
 	// (or decided) would confuse the two transactions. Each incarnation
 	// must pass a fresh epoch; epoch e starts the counter at e<<32.
 	IDEpoch uint64
+	// Epochs, when non-nil, is the site's commit-epoch manager (the
+	// storage engine's). Votes then carry the participant's open epoch at
+	// prepare and OK acks the participant's durable epoch at commit, so
+	// the coordinator can observe rounds pipelining across adjacent
+	// epochs (Stats.CrossEpochCommits). Durability semantics are
+	// unchanged: a participant's commit still waits for its covering LSN
+	// (via the epoch boundary) before the ack escapes.
+	Epochs *epoch.Manager
 }
 
 // Outcome is one locally applied transaction decision, as reported to
@@ -117,6 +126,11 @@ type Stats struct {
 	Aborts          atomic.Int64 // coordinated updates that ended in abort
 	Swept           atomic.Int64 // prepared transactions freed by presumed abort
 	DecisionRetries atomic.Int64 // decision deliveries that needed a retry
+	// CrossEpochCommits counts committed updates whose participant acks
+	// reported a durable epoch beyond the epoch any vote was prepared in
+	// — i.e. rounds that pipelined across an epoch boundary. Only moves
+	// when Options.Epochs is set cluster-wide.
+	CrossEpochCommits atomic.Int64
 }
 
 // maxDecidedTxns bounds the decided-outcome cache that makes duplicate
@@ -238,9 +252,10 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	// Phase 1: prepare everywhere, simultaneously (paper: "it also sends
 	// the lock request to the other accelerators simultaneously").
 	type voteResult struct {
-		peer wire.SiteID
-		ok   bool
-		why  string
+		peer  wire.SiteID
+		ok    bool
+		why   string
+		epoch uint64
 	}
 	votes := make(chan voteResult, len(peers))
 	for _, p := range peers {
@@ -262,7 +277,7 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 				votes <- voteResult{peer: p, ok: false, why: fmt.Sprintf("bad reply %T", reply)}
 				return
 			}
-			votes <- voteResult{peer: p, ok: v.OK, why: v.Reason}
+			votes <- voteResult{peer: p, ok: v.OK, why: v.Reason, epoch: v.Epoch}
 		}(p)
 	}
 	// Collect every vote, then report the failing vote with the lowest
@@ -271,8 +286,12 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	allOK := true
 	var reason string
 	var failedPeer wire.SiteID
+	var maxVoteEpoch uint64 // highest participant epoch any prepare rode
 	for range peers {
 		v := <-votes
+		if v.epoch > maxVoteEpoch {
+			maxVoteEpoch = v.epoch
+		}
 		if v.ok {
 			continue
 		}
@@ -305,11 +324,22 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 	}
 	e.observe(txnID, key, true, false)
 	baseAcked := e.opts.Base == e.opts.Site // self-ack when we host the base
-	e.broadcastDecision(ctx, peers, txnID, true, func(p wire.SiteID, ok bool) {
+	crossEpoch := false
+	e.broadcastDecision(ctx, peers, txnID, true, func(p wire.SiteID, ok bool, ackEpoch uint64) {
 		if p == e.opts.Base && ok {
 			baseAcked = true
 		}
+		// An OK ack whose durable epoch is beyond every prepare epoch
+		// means this round straddled an epoch boundary at the
+		// participant: prepare in epoch N, durable commit in N+1 or
+		// later, with the epochs pipelining the rounds in between.
+		if ok && ackEpoch > maxVoteEpoch && maxVoteEpoch > 0 {
+			crossEpoch = true
+		}
 	})
+	if crossEpoch {
+		e.stats.CrossEpochCommits.Add(1)
+	}
 	if !baseAcked {
 		return ErrCompletionUnknown
 	}
@@ -319,7 +349,7 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 // broadcastDecision distributes the decision and reports each ack via
 // onAck (which may be nil). It waits for all peers (bounded by
 // PrepareTimeout each, in parallel).
-func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txnID uint64, commit bool, onAck func(p wire.SiteID, ok bool)) {
+func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txnID uint64, commit bool, onAck func(p wire.SiteID, ok bool, ackEpoch uint64)) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, p := range peers {
@@ -327,6 +357,7 @@ func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txn
 		go func(p wire.SiteID) {
 			defer wg.Done()
 			ok := false
+			var ackEpoch uint64
 			// A lost decision would leave the participant prepared until
 			// its TTL sweep presumes abort, so retry with backoff — the
 			// participant's decided-outcome cache makes duplicates safe.
@@ -351,12 +382,13 @@ func (e *Engine) broadcastDecision(ctx context.Context, peers []wire.SiteID, txn
 				}
 				if a, isAck := reply.(*wire.IUAck); isAck && a.OK {
 					ok = true
+					ackEpoch = a.Epoch
 				}
 				break
 			}
 			if onAck != nil {
 				mu.Lock()
-				onAck(p, ok)
+				onAck(p, ok, ackEpoch)
 				mu.Unlock()
 			}
 		}(p)
@@ -405,7 +437,11 @@ func (e *Engine) HandlePrepare(ctx context.Context, from wire.SiteID, msg *wire.
 	}
 	e.prepared[msg.TxnID] = &preparedTxn{tx: tx, key: msg.Key, deadline: e.opts.Clock.Now().Add(e.opts.PreparedTTL)}
 	e.mu.Unlock()
-	return &wire.IUVote{TxnID: msg.TxnID, OK: true}
+	vote := &wire.IUVote{TxnID: msg.TxnID, OK: true}
+	if e.opts.Epochs != nil {
+		vote.Epoch = e.opts.Epochs.Current()
+	}
+	return vote
 }
 
 // HandleDecision is the participant's phase-2 handler.
@@ -448,7 +484,13 @@ func (e *Engine) HandleDecision(ctx context.Context, from wire.SiteID, msg *wire
 			return &wire.IUAck{TxnID: msg.TxnID, OK: false}
 		}
 		e.observe(msg.TxnID, p.key, true, false)
-		return &wire.IUAck{TxnID: msg.TxnID, OK: true}
+		ack := &wire.IUAck{TxnID: msg.TxnID, OK: true}
+		if e.opts.Epochs != nil {
+			// Commit just waited out its epoch boundary, so Durable() is at
+			// least the epoch the commit rode.
+			ack.Epoch = e.opts.Epochs.Durable()
+		}
+		return ack
 	}
 	p.tx.Abort()
 	e.observe(msg.TxnID, p.key, false, false)

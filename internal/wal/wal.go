@@ -123,10 +123,10 @@ type Log struct {
 	nextLSN  uint64 // LSN the next Append will receive
 	firstLSN uint64 // smallest LSN still present (1 if never truncated)
 	cur      *os.File
-	curFirst uint64 // first LSN of the current segment
-	curSize  int64  // bytes in the current segment, written + buffered
-	buf      []byte // encoded records not yet written to cur
-	written  uint64 // highest LSN flushed to the OS
+	curFirst uint64     // first LSN of the current segment
+	curSize  int64      // bytes in the current segment, written + buffered
+	buf      []byte     // encoded records not yet written to cur
+	written  uint64     // highest LSN flushed to the OS
 	dirty    []*os.File // rotated-away segments with writes not yet fsynced
 	failed   error      // sticky: a write/fsync failed, durability unknown
 

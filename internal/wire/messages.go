@@ -328,11 +328,16 @@ func (m *IUPrepare) decode(r *reader) (err error) {
 	return err
 }
 
-// IUVote is a participant's phase-1 vote.
+// IUVote is a participant's phase-1 vote. Epoch, when non-zero, is the
+// participant's open commit epoch at prepare time (see internal/epoch):
+// it lets the coordinator observe how 2PC rounds pipeline across epoch
+// boundaries. A zero Epoch (encoded by omission, so non-epoch peers
+// interoperate unchanged) means the participant does not run epochs.
 type IUVote struct {
 	TxnID  uint64
 	OK     bool
 	Reason string // populated when OK is false
+	Epoch  uint64 // participant's open epoch at prepare (0 = epochs off)
 }
 
 // Kind implements Message.
@@ -341,7 +346,11 @@ func (*IUVote) Kind() Kind { return KindIUVote }
 func (m *IUVote) encode(b []byte) []byte {
 	b = appendUvarint(b, m.TxnID)
 	b = appendBool(b, m.OK)
-	return appendString(b, m.Reason)
+	b = appendString(b, m.Reason)
+	if m.Epoch != 0 {
+		b = appendUvarint(b, m.Epoch)
+	}
+	return b
 }
 
 func (m *IUVote) decode(r *reader) (err error) {
@@ -351,8 +360,18 @@ func (m *IUVote) decode(r *reader) (err error) {
 	if m.OK, err = r.boolean(); err != nil {
 		return err
 	}
-	m.Reason, err = r.str()
-	return err
+	if m.Reason, err = r.str(); err != nil {
+		return err
+	}
+	if r.remaining() > 0 {
+		if m.Epoch, err = r.uvarint(); err != nil {
+			return err
+		}
+		if m.Epoch == 0 {
+			return ErrNonCanonical
+		}
+	}
+	return nil
 }
 
 // IUDecision is phase 2: commit (true) or abort (false).
@@ -379,10 +398,15 @@ func (m *IUDecision) decode(r *reader) (err error) {
 
 // IUAck acknowledges a decision. The paper has the requesting accelerator
 // judge completion from the base site's message; the coordinator therefore
-// waits for at least the base site's ack.
+// waits for at least the base site's ack. Epoch, when non-zero, is the
+// durable epoch that covered the participant's commit — the ack itself is
+// released only once that epoch's covering LSN is durable, so an epoch-
+// carrying OK ack is as strong as a per-transaction fsync ack. Zero
+// (encoded by omission) means the participant does not run epochs.
 type IUAck struct {
 	TxnID uint64
 	OK    bool
+	Epoch uint64 // durable epoch covering the commit (0 = epochs off)
 }
 
 // Kind implements Message.
@@ -390,15 +414,29 @@ func (*IUAck) Kind() Kind { return KindIUAck }
 
 func (m *IUAck) encode(b []byte) []byte {
 	b = appendUvarint(b, m.TxnID)
-	return appendBool(b, m.OK)
+	b = appendBool(b, m.OK)
+	if m.Epoch != 0 {
+		b = appendUvarint(b, m.Epoch)
+	}
+	return b
 }
 
 func (m *IUAck) decode(r *reader) (err error) {
 	if m.TxnID, err = r.uvarint(); err != nil {
 		return err
 	}
-	m.OK, err = r.boolean()
-	return err
+	if m.OK, err = r.boolean(); err != nil {
+		return err
+	}
+	if r.remaining() > 0 {
+		if m.Epoch, err = r.uvarint(); err != nil {
+			return err
+		}
+		if m.Epoch == 0 {
+			return ErrNonCanonical
+		}
+	}
+	return nil
 }
 
 // CentralUpdate is the conventional baseline: every update is shipped to

@@ -34,8 +34,10 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&DeltaAck{Origin: 2, UpTo: 12345},
 		&IUPrepare{TxnID: 99, Coord: 1, Key: "nonreg-4", Delta: -10},
 		&IUVote{TxnID: 99, OK: false, Reason: "lock timeout"},
+		&IUVote{TxnID: 99, OK: true, Epoch: 41},
 		&IUDecision{TxnID: 99, Commit: true},
 		&IUAck{TxnID: 99, OK: true},
+		&IUAck{TxnID: 99, OK: true, Epoch: 0xABCDEF},
 		&CentralUpdate{Key: "x", Delta: 123456789},
 		&CentralReply{OK: true, NewValue: -1, Reason: ""},
 		&CentralReply{OK: false, NewValue: 0, Reason: "would go negative"},
@@ -74,6 +76,26 @@ func TestAVRequestXferOptionalField(t *testing.T) {
 	// Hand-append an explicit zero varint for Xfer: must be rejected.
 	if _, err := DecodeEnvelope(append(append([]byte{}, legacy...), 0x00)); err == nil {
 		t.Fatal("explicit zero Xfer accepted")
+	}
+}
+
+// TestEpochOptionalFields pins the same trailing-field contract for the
+// epoch numbers on IUVote and IUAck: epochs-off peers encode
+// byte-identically to the legacy format, and an explicit zero epoch is
+// rejected as non-canonical.
+func TestEpochOptionalFields(t *testing.T) {
+	for _, msgs := range [][2]Message{
+		{&IUVote{TxnID: 7, OK: true}, &IUVote{TxnID: 7, OK: true, Epoch: 0}},
+		{&IUAck{TxnID: 7, OK: true}, &IUAck{TxnID: 7, OK: true, Epoch: 0}},
+	} {
+		legacy := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3, Msg: msgs[0]})
+		withZero := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3, Msg: msgs[1]})
+		if !reflect.DeepEqual(legacy, withZero) {
+			t.Fatalf("%T: zero epoch changed the encoding:\nlegacy %x\n  zero %x", msgs[0], legacy, withZero)
+		}
+		if _, err := DecodeEnvelope(append(append([]byte{}, legacy...), 0x00)); err == nil {
+			t.Fatalf("%T: explicit zero epoch accepted", msgs[0])
+		}
 	}
 }
 
