@@ -18,6 +18,7 @@
 //	avbench -durable BENCH_4.json
 //	avbench -reads BENCH_5.json
 //	avbench -matrix BENCH_6.json
+//	avbench -shard BENCH_7.json
 //
 // -procs pins GOMAXPROCS for the whole run (recorded in every JSON
 // snapshot); with -matrix it collapses the GOMAXPROCS axis to that
@@ -45,6 +46,9 @@ func main() {
 		readFrac = flag.Float64("read-frac", 0.9, "fraction of reads in the -reads mixed workload")
 		readOps  = flag.Int("read-ops", 5000, "mixed operations in the -reads workload")
 		matrix   = flag.String("matrix", "", `write the multi-core scaling matrix (JSON) to this file ("-" for stdout) instead of sweeping`)
+		shard    = flag.String("shard", "", `write the sharded-cluster scaling snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		shardKey = flag.Int("shard-keys", 100000, "key-space size for the -shard workload")
+		shardOps = flag.Int("shard-ops", 4000, "updates per -shard cell")
 		procs    = flag.Int("procs", 0, "pin GOMAXPROCS for the run (0 = runtime default; with -matrix, restricts the axis to this value)")
 	)
 	flag.Parse()
@@ -69,6 +73,13 @@ func main() {
 	}
 	if *reads != "" {
 		if err := runReads(*reads, *readFrac, *readOps, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *shard != "" {
+		if err := runShard(*shard, *shardKey, *shardOps, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "avbench:", err)
 			os.Exit(1)
 		}

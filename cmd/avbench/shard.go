@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"avdb/internal/cluster"
+	"avdb/internal/core"
+	"avdb/internal/twopc"
+	"avdb/internal/workload"
+)
+
+// shardResult is the schema of the BENCH_7.json snapshot: routed update
+// throughput of a 6-site in-process cluster under a Zipfian workload
+// over a large key space, swept along two axes:
+//
+//   - partition count 1 / 4 / 16 at RF 2 — more partitions spread the
+//     hot keys' owners across sites, so the routing fan-in per site
+//     drops;
+//   - replication factor 1 / 2 / 3 at 16 partitions — wider replica
+//     sets give more local (unrouted) updates but more anti-entropy
+//     fan-out.
+//
+// forwarded_frac is the fraction of updates that crossed a routing hop
+// (origin did not host the key); with site affinity at 0.5, half the
+// stream is pinned to the owner and the rest scatters.
+type shardResult struct {
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Sites     int          `json:"sites"`
+	Keys      int          `json:"keys"`
+	Theta     float64      `json:"zipf_theta"`
+	Affinity  float64      `json:"site_affinity"`
+	Workers   int          `json:"workers"`
+	Ops       int          `json:"ops_per_cell"`
+	Cells     []*shardCell `json:"cells"`
+}
+
+type shardCell struct {
+	Partitions int     `json:"partitions"`
+	RF         int     `json:"rf"`
+	Ops        int     `json:"ops"`
+	Commits    int64   `json:"commits"`
+	Rejected   int64   `json:"rejected"` // insufficient AV — workload pressure, not errors
+	NsOp       float64 `json:"ns_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+
+	// ForwardedFrac is forwarded routed updates / ops; Misroutes counts
+	// updates a non-replica refused (0 in a healthy static cluster).
+	ForwardedFrac float64 `json:"forwarded_frac"`
+	Misroutes     uint64  `json:"misroutes"`
+}
+
+// runShard measures the sharded matrix and writes it as JSON to path.
+// keys and ops are scaled down by the schema test; the committed
+// artifact uses the defaults from main.
+func runShard(path string, keys, ops int, seed uint64) error {
+	const (
+		sites    = 6
+		theta    = 0.99
+		affinity = 0.5
+		workers  = 8
+	)
+	res := shardResult{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Sites:     sites,
+		Keys:      keys,
+		Theta:     theta,
+		Affinity:  affinity,
+		Workers:   workers,
+		Ops:       ops,
+	}
+	for _, cell := range []struct{ parts, rf int }{
+		{1, 2}, {4, 2}, {16, 2}, {16, 1}, {16, 3},
+	} {
+		c, err := runShardCell(cell.parts, cell.rf, sites, keys, ops, workers, theta, affinity, seed)
+		if err != nil {
+			return fmt.Errorf("partitions=%d rf=%d: %w", cell.parts, cell.rf, err)
+		}
+		res.Cells = append(res.Cells, c)
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// runShardCell drives one (partitions, rf) point: a fresh in-memory
+// cluster, a pre-generated Zipfian op stream, and a fixed worker pool
+// issuing each update at its op's origin site (routing happens inside).
+func runShardCell(parts, rf, sites, keys, ops, workers int, theta, affinity float64, seed uint64) (*shardCell, error) {
+	c, err := cluster.New(cluster.Config{
+		Sites:         sites,
+		Items:         keys,
+		InitialAmount: 100000,
+		Partitions:    parts,
+		RF:            rf,
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	pm := c.PartMap()
+	gen, err := workload.NewZipf(workload.ZipfConfig{
+		SCMConfig: workload.SCMConfig{
+			Sites:         sites,
+			Keys:          workload.Keys(keys),
+			InitialAmount: 100000,
+			// Small absolute deltas: the cell measures routing and commit
+			// throughput, not AV exhaustion, so keep the hot keys solvent.
+			MakerIncreaseFrac:    0.0005,
+			RetailerDecreaseFrac: 0.0002,
+			Seed:                 seed,
+		},
+		Theta:        theta,
+		SiteAffinity: affinity,
+		HomeSite:     func(key string) int { return int(pm.OwnerOf(key)) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	stream := make([]workload.Op, ops)
+	for i := range stream {
+		stream[i] = gen.Next()
+	}
+
+	var (
+		next     atomic.Int64
+		commits  atomic.Int64
+		rejected atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		workErr  error
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stream) {
+					return
+				}
+				op := stream[i]
+				_, err := c.Update(context.Background(), op.Site, op.Key, op.Delta)
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, core.ErrInsufficientAV) || errors.Is(err, twopc.ErrAborted):
+					rejected.Add(1)
+				default:
+					errMu.Lock()
+					if workErr == nil {
+						workErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return nil, workErr
+	}
+
+	cell := &shardCell{
+		Partitions: parts,
+		RF:         rf,
+		Ops:        ops,
+		Commits:    commits.Load(),
+		Rejected:   rejected.Load(),
+		NsOp:       float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:  float64(ops) / elapsed.Seconds(),
+	}
+	for _, s := range c.Sites {
+		rs := s.RouteStats()
+		cell.ForwardedFrac += float64(rs.Forwarded)
+		cell.Misroutes += rs.Misroutes
+	}
+	cell.ForwardedFrac /= float64(ops)
+	return cell, nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The -shard mode must produce a well-formed BENCH_7-shaped snapshot:
+// every cell measured, ops accounted for, routing observed, and zero
+// misroutes in a healthy static cluster.
+func TestRunShardSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench7.json")
+	if err := runShard(path, 2000, 300, 1); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res shardResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if len(res.Cells) != 5 {
+		t.Fatalf("want 5 cells, got %d", len(res.Cells))
+	}
+	sawForwarding := false
+	for _, c := range res.Cells {
+		if c.Commits+c.Rejected != int64(c.Ops) {
+			t.Errorf("parts=%d rf=%d: commits %d + rejected %d != ops %d",
+				c.Partitions, c.RF, c.Commits, c.Rejected, c.Ops)
+		}
+		if c.Commits == 0 {
+			t.Errorf("parts=%d rf=%d: nothing committed", c.Partitions, c.RF)
+		}
+		if c.OpsPerSec <= 0 || c.NsOp <= 0 {
+			t.Errorf("parts=%d rf=%d: throughput unmeasured", c.Partitions, c.RF)
+		}
+		if c.Misroutes != 0 {
+			t.Errorf("parts=%d rf=%d: %d misroutes in a static cluster", c.Partitions, c.RF, c.Misroutes)
+		}
+		if c.ForwardedFrac < 0 || c.ForwardedFrac > 1 {
+			t.Errorf("parts=%d rf=%d: forwarded_frac %v outside [0,1]", c.Partitions, c.RF, c.ForwardedFrac)
+		}
+		if c.RF < 6 && c.ForwardedFrac > 0 {
+			sawForwarding = true
+		}
+	}
+	if !sawForwarding {
+		t.Error("no cell forwarded anything — routing never exercised")
+	}
+}

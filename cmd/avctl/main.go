@@ -8,6 +8,7 @@
 //	avctl -admin localhost:7300 stats
 //	avctl -admin localhost:7300 health
 //	avctl -admin localhost:7300 watch [stock|global|hot] [-interval 1s] [-key k]
+//	avctl -admin localhost:7300 partitions
 //
 // `stats` dumps /metrics verbatim, including the durability-pipeline
 // gauges (wal_fsync_total, wal_records_synced_total, the
@@ -29,6 +30,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,7 +42,7 @@ import (
 	"time"
 )
 
-const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats|health|watch> [args...]"
+const usage = "usage: avctl [-addr host:port] [-admin host:port] <update|read|av|sync|stats|health|watch|partitions> [args...]"
 
 func main() {
 	addr := flag.String("addr", "localhost:7200", "avnode client address")
@@ -61,6 +63,9 @@ func main() {
 	}
 	if cmd == "WATCH" {
 		os.Exit(watch(*admin, flag.Args()[1:]))
+	}
+	if cmd == "PARTITIONS" {
+		os.Exit(partitions(*admin, *timeout))
 	}
 	line := strings.Join(append([]string{cmd}, flag.Args()[1:]...), " ")
 
@@ -179,6 +184,54 @@ func watch(admin string, args []string) int {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "avctl: watch:", err)
 		return 1
+	}
+	return 0
+}
+
+// partitions fetches the node's /partitions view and renders it as a
+// table: map header, routing counters, one line per hosted partition.
+// Returns the process exit code.
+func partitions(admin string, timeout time.Duration) int {
+	client := &http.Client{Timeout: timeout}
+	var buf strings.Builder
+	if err := fetch(client, "http://"+admin+"/partitions", &buf); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: partitions:", err)
+		return 1
+	}
+	var reply struct {
+		MapVersion uint64 `json:"map_version"`
+		Partitions int    `json:"partitions"`
+		RF         int    `json:"rf"`
+		Sites      []int  `json:"sites"`
+		Forwarded  uint64 `json:"route_forwarded"`
+		Served     uint64 `json:"route_served"`
+		Misroutes  uint64 `json:"route_misroutes"`
+		Refreshes  uint64 `json:"route_map_refreshes"`
+		Hosted     []struct {
+			Partition int   `json:"partition"`
+			Owner     int   `json:"owner"`
+			Replicas  []int `json:"replicas"`
+			Keys      int   `json:"keys"`
+			AVKeys    int   `json:"av_keys"`
+			AVAvail   int64 `json:"av_avail"`
+			AVHeld    int64 `json:"av_held"`
+			Stock     int64 `json:"stock"`
+		} `json:"hosted"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &reply); err != nil {
+		fmt.Fprintln(os.Stderr, "avctl: partitions: bad reply:", err)
+		return 1
+	}
+	fmt.Printf("map v%d: %d partitions, rf %d, sites %v\n",
+		reply.MapVersion, reply.Partitions, reply.RF, reply.Sites)
+	fmt.Printf("routing: forwarded %d, served %d, misroutes %d, map refreshes %d\n",
+		reply.Forwarded, reply.Served, reply.Misroutes, reply.Refreshes)
+	fmt.Printf("%-10s %-6s %-12s %6s %8s %10s %8s %10s\n",
+		"partition", "owner", "replicas", "keys", "av_keys", "av_avail", "av_held", "stock")
+	for _, h := range reply.Hosted {
+		fmt.Printf("%-10d %-6d %-12s %6d %8d %10d %8d %10d\n",
+			h.Partition, h.Owner, strings.Trim(strings.Join(strings.Fields(fmt.Sprint(h.Replicas)), ","), "[]"),
+			h.Keys, h.AVKeys, h.AVAvail, h.AVHeld, h.Stock)
 	}
 	return 0
 }

@@ -22,10 +22,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"avdb/internal/failure"
 	"avdb/internal/metrics"
 	"avdb/internal/obs"
+	"avdb/internal/partition"
 	"avdb/internal/site"
 	"avdb/internal/storage"
 	"avdb/internal/trace"
@@ -70,12 +74,30 @@ func main() {
 		epochOn      = flag.Bool("epoch", false, "acknowledge durable commits at epoch boundaries (one fsync per epoch) instead of per group-commit round")
 		epochUS      = flag.Int("epoch-interval-us", 200, "epoch length in microseconds (with -epoch)")
 		epochMax     = flag.Int("epoch-max-commits", 0, "close an epoch early once it holds this many commits (0 = default, negative = never)")
+		partitions   = flag.Int("partitions", 0, "shard the catalog over this many partitions (0 = legacy full replication; identical on every node)")
+		rf           = flag.Int("rf", 2, "replicas per partition (with -partitions; capped at the cluster size)")
 	)
 	flag.Parse()
 
 	peers, addrs, err := parsePeers(*peerSpec)
 	if err != nil {
 		log.Fatalf("avnode: %v", err)
+	}
+
+	// The partition map is derived, not exchanged: every node computes it
+	// from the same -partitions/-rf flags over the same membership, so the
+	// maps agree by construction (version 1 everywhere).
+	var pm *partition.Map
+	if *partitions > 0 {
+		ids := append([]wire.SiteID{wire.SiteID(*id)}, peers...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		f := *rf
+		if f > len(ids) {
+			f = len(ids)
+		}
+		if pm, err = partition.New(ids, *partitions, f); err != nil {
+			log.Fatalf("avnode: partition map: %v", err)
+		}
 	}
 
 	// Observability: the registry always counts (it is cheap); the tracer
@@ -133,6 +155,7 @@ func main() {
 		EpochInterval:     epochInterval(*epochOn, *epochUS),
 		EpochMaxCommits:   *epochMax,
 		EpochStats:        epochStats,
+		Partitions:        pm,
 	}, network)
 	if err != nil {
 		log.Fatalf("avnode: open site: %v", err)
@@ -193,6 +216,18 @@ func main() {
 			srv.RegisterHistogram("readplane_lag", p.LagHistogram())
 			srv.RegisterHistogram("readplane_ryw_wait", p.WaitHistogram())
 		}
+		// Routing counters and the /partitions inspection endpoint (all
+		// zero / 404 unless -partitions).
+		if s.PartitionMap() != nil {
+			srv.RegisterCounter("partition_route_forwarded", func() int64 { return int64(s.RouteStats().Forwarded) })
+			srv.RegisterCounter("partition_route_served", func() int64 { return int64(s.RouteStats().Served) })
+			srv.RegisterCounter("partition_misroutes", func() int64 { return int64(s.RouteStats().Misroutes) })
+			srv.RegisterCounter("partition_map_refreshes", func() int64 { return int64(s.RouteStats().MapRefreshes) })
+			srv.RegisterCounter("partition_hosted", func() int64 {
+				return int64(len(s.PartitionMap().Hosted(wire.SiteID(*id))))
+			})
+			srv.Handle("GET /partitions", partitionsHandler(s))
+		}
 		if err := srv.Start(*admin); err != nil {
 			log.Fatalf("avnode: admin server: %v", err)
 		}
@@ -200,7 +235,7 @@ func main() {
 		log.Printf("avnode: admin server on %s", srv.Addr())
 	}
 
-	if err := seed(s, *items, *initial, *avShare, *nonReg, len(peers)+1); err != nil {
+	if err := seed(s, *items, *initial, *avShare, *nonReg, len(peers)+1, pm); err != nil {
 		log.Fatalf("avnode: seed: %v", err)
 	}
 
@@ -217,6 +252,45 @@ func main() {
 		}
 		go serveClient(s, conn, updateLatency)
 	}
+}
+
+// partitionsHandler serves the node's partition view as JSON: the map
+// parameters, the routing counters, and per-hosted-partition record/AV
+// footprints — what `avctl partitions` renders.
+func partitionsHandler(s *site.Site) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pm := s.PartitionMap()
+		if pm == nil {
+			http.Error(w, "partitioning disabled", http.StatusNotFound)
+			return
+		}
+		rs := s.RouteStats()
+		reply := struct {
+			MapVersion uint64               `json:"map_version"`
+			Partitions int                  `json:"partitions"`
+			RF         int                  `json:"rf"`
+			Sites      []wire.SiteID        `json:"sites"`
+			Forwarded  uint64               `json:"route_forwarded"`
+			Served     uint64               `json:"route_served"`
+			Misroutes  uint64               `json:"route_misroutes"`
+			Refreshes  uint64               `json:"route_map_refreshes"`
+			Hosted     []site.PartitionInfo `json:"hosted"`
+		}{
+			MapVersion: pm.Version(),
+			Partitions: pm.Parts(),
+			RF:         pm.RF(),
+			Sites:      pm.Sites(),
+			Forwarded:  rs.Forwarded,
+			Served:     rs.Served,
+			Misroutes:  rs.Misroutes,
+			Refreshes:  rs.MapRefreshes,
+			Hosted:     s.PartitionStats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(&reply) //nolint:errcheck // best-effort HTTP write
+	})
 }
 
 // epochInterval maps the -epoch/-epoch-interval-us flag pair onto the
@@ -252,11 +326,19 @@ func parsePeers(spec string) ([]wire.SiteID, map[wire.SiteID]string, error) {
 
 // seed loads the shared catalog; identical flags on every node yield
 // identical catalogs (the paper's initial delivery from the base DB).
-func seed(s *site.Site, items int, initial, avShare int64, nonRegular float64, sites int) error {
+// With a partition map, each node seeds only the keys it hosts and the
+// AV default splits initial stock across the replica set instead of
+// the whole cluster.
+func seed(s *site.Site, items int, initial, avShare int64, nonRegular float64, sites int, pm *partition.Map) error {
 	nonRegCount := int(nonRegular*float64(items) + 0.5)
 	if avShare == 0 && sites > 0 {
-		avShare = initial / int64(sites)
+		if pm != nil {
+			avShare = initial / int64(pm.RF())
+		} else {
+			avShare = initial / int64(sites)
+		}
 	}
+	self := s.ID()
 	for i := 0; i < items; i++ {
 		rec := storage.Record{
 			Key:    fmt.Sprintf("product-%04d", i),
@@ -266,6 +348,9 @@ func seed(s *site.Site, items int, initial, avShare int64, nonRegular float64, s
 		}
 		if i < nonRegCount {
 			rec.Class = storage.NonRegular
+		}
+		if pm != nil && !pm.HostsKey(self, rec.Key) {
+			continue
 		}
 		// On a durable restart the row (and with -persist-av the AV
 		// journal) already exists; re-seeding would reset stock and mint

@@ -2,8 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
 	"testing"
 
+	"avdb/internal/partition"
 	"avdb/internal/site"
 	"avdb/internal/transport/memnet"
 	"avdb/internal/wire"
@@ -44,7 +48,7 @@ func TestSeedClassificationAndAV(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if err := seed(s, 10, 900, 0, 0.3, 3); err != nil {
+	if err := seed(s, 10, 900, 0, 0.3, 3, nil); err != nil {
 		t.Fatal(err)
 	}
 	if s.Engine().Len() != 10 {
@@ -70,7 +74,7 @@ func TestSeedIdempotentOnRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := seed(s, 2, 100, 0, 0, 2); err != nil {
+	if err := seed(s, 2, 100, 0, 0, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := s.Update(ctxBg(), "product-0000", -30); err != nil {
@@ -83,7 +87,7 @@ func TestSeedIdempotentOnRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	if err := seed(s2, 2, 100, 0, 0, 2); err != nil {
+	if err := seed(s2, 2, 100, 0, 0, 2, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Restart + reseed must not reset stock or mint AV.
@@ -96,3 +100,81 @@ func TestSeedIdempotentOnRestart(t *testing.T) {
 }
 
 func ctxBg() context.Context { return context.Background() }
+
+func TestSeedPartitionedHostsOnly(t *testing.T) {
+	pm, err := partition.New([]wire.SiteID{0, 1, 2}, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := site.Open(site.Config{ID: 0, Peers: []wire.SiteID{1, 2}, Partitions: pm},
+		memnet.New(memnet.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const items = 40
+	if err := seed(s, items, 900, 0, 0, 3, pm); err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	for i := 0; i < items; i++ {
+		key := fmt.Sprintf("product-%04d", i)
+		if pm.HostsKey(0, key) {
+			hosted++
+			if _, err := s.Read(key); err != nil {
+				t.Errorf("hosted key %s missing: %v", key, err)
+			}
+			// AV default splits across the replica set, not the cluster.
+			if av := s.AV().Avail(key); av != 450 {
+				t.Errorf("AV share for %s = %d, want 450", key, av)
+			}
+		} else if _, err := s.Read(key); err == nil {
+			t.Errorf("foreign key %s seeded locally", key)
+		}
+	}
+	if hosted == 0 || hosted == items {
+		t.Fatalf("degenerate hosting: %d/%d", hosted, items)
+	}
+	if s.Engine().Len() != hosted {
+		t.Fatalf("store holds %d rows, hosts %d keys", s.Engine().Len(), hosted)
+	}
+}
+
+func TestPartitionsHandler(t *testing.T) {
+	pm, err := partition.New([]wire.SiteID{0, 1}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := site.Open(site.Config{ID: 0, Peers: []wire.SiteID{1}, Partitions: pm},
+		memnet.New(memnet.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := seed(s, 8, 100, 0, 0, 2, pm); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	partitionsHandler(s).ServeHTTP(rec, httptest.NewRequest("GET", "/partitions", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var reply struct {
+		MapVersion uint64 `json:"map_version"`
+		Partitions int    `json:"partitions"`
+		RF         int    `json:"rf"`
+		Hosted     []struct {
+			Partition int `json:"partition"`
+			Keys      int `json:"keys"`
+		} `json:"hosted"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &reply); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if reply.MapVersion != 1 || reply.Partitions != 4 || reply.RF != 1 {
+		t.Fatalf("reply header %+v", reply)
+	}
+	if len(reply.Hosted) != len(pm.Hosted(0)) {
+		t.Fatalf("hosted %d partitions, map says %d", len(reply.Hosted), len(pm.Hosted(0)))
+	}
+}

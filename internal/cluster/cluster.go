@@ -18,6 +18,7 @@ import (
 	"avdb/internal/eventlog"
 	"avdb/internal/failure"
 	"avdb/internal/metrics"
+	"avdb/internal/partition"
 	"avdb/internal/site"
 	"avdb/internal/storage"
 	"avdb/internal/strategy"
@@ -110,6 +111,19 @@ type Config struct {
 	// site.Config.ReadPlane). The simulator enables it so its oracles
 	// can prove read-model convergence and RYW-token safety.
 	ReadPlane bool
+	// Partitions, when > 0, shards the catalog over that many virtual
+	// partitions with replication factor RF: each key lives only on its
+	// partition's replica set (seeded there, AV defined there,
+	// anti-entropied there), and every site routes updates for foreign
+	// keys to the owning replicas. Zero keeps legacy full replication.
+	Partitions int
+	// RF is the replication factor in sharded mode (default 2, capped
+	// at Sites). Ignored when Partitions is zero.
+	RF int
+	// UpdateObserver, when non-nil, fires once per Delay Update
+	// committed anywhere in the cluster, at the applying site (see
+	// site.Config.UpdateObserver).
+	UpdateObserver func(key string, delta int64)
 }
 
 // Cluster is a running multi-site system.
@@ -123,6 +137,9 @@ type Cluster struct {
 	// (Immediate Update).
 	RegularKeys    []string
 	NonRegularKeys []string
+
+	// pm is the shared partition map, nil for legacy full replication.
+	pm *partition.Map
 
 	mu     sync.Mutex
 	down   map[int]bool // crashed sites (durable clusters only)
@@ -143,7 +160,26 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = metrics.NewRegistry()
 	}
+	var pm *partition.Map
+	if cfg.Partitions > 0 {
+		if cfg.RF <= 0 {
+			cfg.RF = 2
+		}
+		if cfg.RF > cfg.Sites {
+			cfg.RF = cfg.Sites
+		}
+		ids := make([]wire.SiteID, cfg.Sites)
+		for i := range ids {
+			ids[i] = wire.SiteID(i)
+		}
+		var err error
+		pm, err = partition.New(ids, cfg.Partitions, cfg.RF)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
 	c := &Cluster{
+		pm:       pm,
 		Cfg:      cfg,
 		Registry: cfg.Registry,
 		down:     make(map[int]bool),
@@ -183,7 +219,18 @@ func New(cfg Config) (*Cluster, error) {
 			c.Close()
 			return nil, err
 		}
-		if err := s.Seed(records...); err != nil {
+		recs := records
+		if pm != nil {
+			// Partial replication: a site's store holds only the keys of
+			// the partitions it hosts.
+			recs = recs[:0:0]
+			for _, r := range records {
+				if pm.HostsKey(wire.SiteID(id), r.Key) {
+					recs = append(recs, r)
+				}
+			}
+		}
+		if err := s.Seed(recs...); err != nil {
 			s.Close()
 			c.Close()
 			return nil, err
@@ -192,15 +239,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	// Initial AV allocation: the whole slack (== initial stock) is split
-	// across sites; equality of sum(AV) and global stock is the system's
-	// conservation invariant thereafter.
+	// across the sites hosting the key (all of them under full
+	// replication, the RF replicas under partitioning); equality of
+	// sum(AV) and global stock is the system's conservation invariant
+	// thereafter — partition-local when sharded.
 	for _, key := range c.RegularKeys {
+		hosts := c.HostSitesFor(key)
 		if cfg.AVAllAtBase {
-			if err := c.Sites[0].DefineAV(key, cfg.InitialAmount); err != nil {
+			// Sharded clusters concentrate at the partition owner (the
+			// first replica), legacy ones at the base.
+			if err := c.Sites[hosts[0]].DefineAV(key, cfg.InitialAmount); err != nil {
 				c.Close()
 				return nil, err
 			}
-			for id := 1; id < cfg.Sites; id++ {
+			for _, id := range hosts[1:] {
 				if err := c.Sites[id].DefineAV(key, 0); err != nil {
 					c.Close()
 					return nil, err
@@ -208,12 +260,12 @@ func New(cfg Config) (*Cluster, error) {
 			}
 			continue
 		}
-		share := cfg.InitialAmount / int64(cfg.Sites)
-		remainder := cfg.InitialAmount - share*int64(cfg.Sites)
-		for id := 0; id < cfg.Sites; id++ {
+		share := cfg.InitialAmount / int64(len(hosts))
+		remainder := cfg.InitialAmount - share*int64(len(hosts))
+		for i, id := range hosts {
 			vol := share
-			if id == 0 {
-				vol += remainder
+			if i == 0 {
+				vol += remainder // owner (or base) takes the odd units
 			}
 			if err := c.Sites[id].DefineAV(key, vol); err != nil {
 				c.Close()
@@ -222,6 +274,28 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// PartMap returns the cluster's partition map, nil when partitioning
+// is off.
+func (c *Cluster) PartMap() *partition.Map { return c.pm }
+
+// HostSitesFor lists the site indices hosting key: the partition's
+// replica set (owner first) when sharded, every site otherwise.
+func (c *Cluster) HostSitesFor(key string) []int {
+	if c.pm == nil {
+		all := make([]int, c.Cfg.Sites)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	reps := c.pm.ReplicasOf(key)
+	out := make([]int, len(reps))
+	for i, r := range reps {
+		out[i] = int(r)
+	}
+	return out
 }
 
 // siteConfig builds site id's configuration; Open and RestartSite use
@@ -262,6 +336,8 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		FlushBackoff:      cfg.FlushBackoff,
 		EscrowTransfers:   cfg.EscrowTransfers,
 		ReadPlane:         cfg.ReadPlane,
+		Partitions:        c.pm,
+		UpdateObserver:    cfg.UpdateObserver,
 	}
 	if cfg.EventsFor != nil {
 		sc.Events = cfg.EventsFor(id)
@@ -378,20 +454,22 @@ func (c *Cluster) FlushAll(ctx context.Context) error {
 	return firstErr
 }
 
-// ConvergedValue verifies every site holds the same value for key
-// (call after FlushAll) and returns it.
+// ConvergedValue verifies every site hosting key holds the same value
+// for it (call after FlushAll) and returns it. Under full replication
+// that is every site; under partitioning, the partition's replicas.
 func (c *Cluster) ConvergedValue(key string) (int64, error) {
-	v0, err := c.Sites[0].Read(key)
+	hosts := c.HostSitesFor(key)
+	v0, err := c.Sites[hosts[0]].Read(key)
 	if err != nil {
 		return 0, err
 	}
-	for i := 1; i < len(c.Sites); i++ {
+	for _, i := range hosts[1:] {
 		v, err := c.Sites[i].Read(key)
 		if err != nil {
 			return 0, err
 		}
 		if v != v0 {
-			return 0, fmt.Errorf("cluster: key %s diverged: site0=%d site%d=%d", key, v0, i, v)
+			return 0, fmt.Errorf("cluster: key %s diverged: site%d=%d site%d=%d", key, hosts[0], v0, i, v)
 		}
 	}
 	return v0, nil
@@ -430,6 +508,55 @@ func (c *Cluster) CheckInvariants() error {
 	for _, key := range c.NonRegularKeys {
 		if _, err := c.ConvergedValue(key); err != nil {
 			return err
+		}
+	}
+	return c.CheckStoreLocality()
+}
+
+// CheckStoreLocality asserts, in a sharded cluster, that every site's
+// store contains exactly the keys of the partitions it hosts — partial
+// replication never leaked a foreign key in, and no hosted key went
+// missing. No-op under full replication.
+func (c *Cluster) CheckStoreLocality() error {
+	if c.pm == nil {
+		return nil
+	}
+	for i, s := range c.Sites {
+		if c.SiteDown(i) {
+			continue
+		}
+		id := wire.SiteID(i)
+		var violation error
+		seen := 0
+		err := s.Engine().Scan(func(rec storage.Record) bool {
+			seen++
+			if !c.pm.HostsKey(id, rec.Key) {
+				violation = fmt.Errorf(
+					"cluster: site %d stores %q (partition %d) but does not host it",
+					i, rec.Key, c.pm.PartitionOf(rec.Key))
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if violation != nil {
+			return violation
+		}
+		want := 0
+		for _, key := range c.RegularKeys {
+			if c.pm.HostsKey(id, key) {
+				want++
+			}
+		}
+		for _, key := range c.NonRegularKeys {
+			if c.pm.HostsKey(id, key) {
+				want++
+			}
+		}
+		if seen != want {
+			return fmt.Errorf("cluster: site %d stores %d records, hosts %d", i, seen, want)
 		}
 	}
 	return nil

@@ -56,6 +56,22 @@ type Config struct {
 	Base wire.SiteID
 	// Peers lists every other site.
 	Peers []wire.SiteID
+	// PeersFor, when non-nil, narrows the peer set per key: on a
+	// partitioned cluster only the other replicas of the key's partition
+	// hold its AV, receive its gossip, or participate in its Immediate
+	// Updates, so every per-key interaction consults this instead of
+	// Peers. Nil keeps the full-replication behaviour (all peers, for
+	// every key) byte-identical to pre-partition builds.
+	PeersFor func(key string) []wire.SiteID
+	// OnCommit, when non-nil, observes every successfully committed
+	// Delay Update at the site that applied it: (key, delta) exactly
+	// once per commit, before Update returns. On partitioned clusters
+	// the simulator's conservation oracle accounts from these
+	// observations, because the site that *issued* a routed update
+	// cannot always know whether the owner applied it (a lost reply
+	// looks like a rejection). Immediate Updates are observed through
+	// twopc.Options.Observer instead.
+	OnCommit func(key string, delta int64)
 	// Policy supplies the selecting and deciding functions
 	// (default strategy.SODA99()).
 	Policy strategy.Policy
@@ -235,7 +251,7 @@ func (a *Accelerator) Update(ctx context.Context, key string, delta int64) (Resu
 		res, err = a.delayUpdate(ctx, key, delta)
 	} else {
 		a.stats.Immediate.Add(1)
-		err = a.iu.Update(ctx, a.cfg.Peers, key, delta)
+		err = a.iu.Update(ctx, a.peersFor(key), key, delta)
 		res = Result{Path: PathImmediate}
 	}
 	if err == nil {
@@ -244,12 +260,28 @@ func (a *Accelerator) Update(ctx context.Context, key string, delta int64) (Resu
 	return res, err
 }
 
+// peersFor returns the peer set for one key's protocol interactions:
+// the key's partition replicas when a router narrows them, every peer
+// otherwise.
+func (a *Accelerator) peersFor(key string) []wire.SiteID {
+	if a.cfg.PeersFor != nil {
+		return a.cfg.PeersFor(key)
+	}
+	return a.cfg.Peers
+}
+
 // delayUpdate is the Delay Update path (Figs. 3 and 4).
 func (a *Accelerator) delayUpdate(ctx context.Context, key string, delta int64) (Result, error) {
 	if delta >= 0 {
 		// An increment creates slack: apply locally and credit the AV.
 		if err := a.applyLocal(ctx, key, delta); err != nil {
 			return Result{}, err
+		}
+		// Observe before the credit: a conservation checker watching
+		// expected stock must never see the freshly minted AV precede the
+		// stock that justifies it.
+		if a.cfg.OnCommit != nil {
+			a.cfg.OnCommit(key, delta)
 		}
 		if err := a.avt.Credit(key, delta); err != nil {
 			return Result{}, err
@@ -312,6 +344,9 @@ func (a *Accelerator) delayUpdate(ctx context.Context, key string, delta int64) 
 	} else {
 		a.stats.DelayLocal.Add(1)
 	}
+	if a.cfg.OnCommit != nil {
+		a.cfg.OnCommit(key, delta)
+	}
 	return res, nil
 }
 
@@ -328,7 +363,7 @@ func (a *Accelerator) gatherAV(ctx context.Context, key string, need, got int64)
 	rounds := 0
 	var transferred int64
 	for pass := 0; pass < a.cfg.Passes && got < need; pass++ {
-		cands := a.view.Candidates(key, a.cfg.Peers)
+		cands := a.view.Candidates(key, a.peersFor(key))
 		a.rmu.Lock()
 		cands = a.cfg.Policy.Selector.Order(cands, a.rnd)
 		a.rmu.Unlock()
@@ -543,7 +578,7 @@ func (a *Accelerator) HandleAVRequest(ctx context.Context, from wire.SiteID, req
 	// The requester asked because it is short; remember that.
 	a.view.Observe(from, req.Key, 0)
 	infos := []wire.AVInfo{{Site: a.cfg.Site, Key: req.Key, Avail: a.avt.Avail(req.Key)}}
-	for _, p := range a.cfg.Peers {
+	for _, p := range a.peersFor(req.Key) {
 		if p == from {
 			continue
 		}

@@ -71,6 +71,11 @@ type Replicator struct {
 	applied  map[wire.SiteID]uint64 // remote origin -> highest seq applied here
 	acked    map[wire.SiteID]uint64 // peer -> highest of OUR seqs it acked
 
+	// Partial replication (see SetPartitionFilter); nil = replicate
+	// everything to everyone, the legacy full-replication behaviour.
+	peerHosts  func(peer wire.SiteID, key string) bool
+	localHosts func(key string) bool
+
 	// Per-peer flush control (see SetFlushPolicy). Guarded by fmu, not
 	// mu: Flush consults it while the log lock is free.
 	fmu          sync.Mutex
@@ -217,6 +222,20 @@ func (r *Replicator) CommitWithRecord(tx *txn.Txn, key string, delta int64) (uin
 	return seq, nil
 }
 
+// SetPartitionFilter makes replication partial: outbound windows carry
+// only the entries whose key peerHosts says the destination hosts, and
+// inbound windows apply only the entries localHosts accepts (a second
+// line of defense against a sender with a different partition map).
+// Watermarks still advance over whole windows — a filtered-out entry is
+// acknowledged, never retransmitted — via DeltaSync.WindowTop. Call
+// before any traffic flows; nil functions restore full replication.
+func (r *Replicator) SetPartitionFilter(peerHosts func(peer wire.SiteID, key string) bool, localHosts func(key string) bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.peerHosts = peerHosts
+	r.localHosts = localHosts
+}
+
 // SetFlushPolicy bounds each peer's exchange during Flush with its own
 // deadline and backs off peers that keep failing: a peer inside its
 // backoff window is skipped entirely (its backlog is kept), so one dead
@@ -315,7 +334,16 @@ func (r *Replicator) PendingSyncFor(peer wire.SiteID) *wire.DeltaSync {
 	}
 	msg := &wire.DeltaSync{Origin: r.origin, FirstSeq: from}
 	byKey := make(map[string]int)
+	filtered := false
 	for _, d := range r.log[idx:] {
+		if r.peerHosts != nil && !r.peerHosts(peer, d.Key) {
+			// Partial replication: the peer does not host this key's
+			// partition. The entry is omitted but its sequence is still
+			// covered by the window (WindowTop below), so the peer acks
+			// it and it is never retransmitted.
+			filtered = true
+			continue
+		}
 		if i, ok := byKey[d.Key]; ok {
 			msg.Deltas[i].Amount += d.Amount
 			msg.Deltas[i].Seq = d.Seq
@@ -323,6 +351,9 @@ func (r *Replicator) PendingSyncFor(peer wire.SiteID) *wire.DeltaSync {
 		}
 		byKey[d.Key] = len(msg.Deltas)
 		msg.Deltas = append(msg.Deltas, d)
+	}
+	if filtered {
+		msg.WindowTop = r.firstSeq + uint64(len(r.log)) - 1
 	}
 	return msg
 }
@@ -351,7 +382,7 @@ func (r *Replicator) HandleSync(msg *wire.DeltaSync) (*wire.DeltaAck, error) {
 	high := r.applied[msg.Origin]
 	var ops []storage.Op
 	if msg.FirstSeq != 0 {
-		to := high
+		to := msg.WindowTop // sender-filtered windows may end past the last entry
 		for _, d := range msg.Deltas {
 			if d.Seq > to {
 				to = d.Seq
@@ -359,6 +390,9 @@ func (r *Replicator) HandleSync(msg *wire.DeltaSync) (*wire.DeltaAck, error) {
 		}
 		if to > high && msg.FirstSeq == high+1 {
 			for _, d := range msg.Deltas {
+				if r.localHosts != nil && !r.localHosts(d.Key) {
+					continue // not our partition; ack it, never apply it
+				}
 				ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
 			}
 			high = to
@@ -376,14 +410,22 @@ func (r *Replicator) HandleSync(msg *wire.DeltaSync) (*wire.DeltaAck, error) {
 			if d.Seq != high+1 {
 				break // gap: wait for retransmission
 			}
-			ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
+			if r.localHosts == nil || r.localHosts(d.Key) {
+				ops = append(ops, storage.DeltaOp(d.Key, d.Amount))
+			}
 			high = d.Seq
 		}
 	}
-	if len(ops) > 0 {
+	if len(ops) > 0 || (r.durable && high > r.applied[msg.Origin]) {
 		if r.durable {
 			// The watermark commits in the same batch as the deltas, so
-			// a crash can never double-apply a retransmission.
+			// a crash can never double-apply a retransmission. It must be
+			// persisted even when the window applied nothing (every entry
+			// filtered to a foreign partition): the ack we return makes
+			// the sender trim its retransmission window permanently, so a
+			// crash forgetting the advance would leave our durable
+			// watermark stranded behind acks the sender will never
+			// re-cover — wedging replication at the gap.
 			wm := binary.AppendUvarint(nil, high)
 			ops = append(ops, storage.MetaPutOp(
 				fmt.Sprintf("%s%d", metaAppliedPrefix, msg.Origin), wm))

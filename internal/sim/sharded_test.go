@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"avdb/internal/chaos"
+)
+
+// shardedCfg is the acceptance configuration: 6 sites, 16 partitions,
+// RF 2 — every key lives on exactly two sites and most updates route.
+func shardedCfg(seed uint64, ticks int) Config {
+	return Config{
+		Seed:       seed,
+		Ticks:      ticks,
+		Sites:      6,
+		Items:      12,
+		Partitions: 16,
+		RF:         2,
+	}
+}
+
+// TestSimShardedHealthy runs the sharded cluster fault-free and
+// expects every oracle — including the per-partition conservation and
+// store-locality ones — to pass.
+func TestSimShardedHealthy(t *testing.T) {
+	cfg := shardedCfg(1, 60)
+	cfg.Script = []chaos.Step{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("sharded fault-free run violated an invariant: %v", res.Violation)
+	}
+	if res.Commits == 0 {
+		t.Fatal("sharded run committed nothing")
+	}
+}
+
+// TestSimShardedBitReproducible requires the routed schedule to hash
+// identically across two independent runs of the same seed, with the
+// generated fault script active.
+func TestSimShardedBitReproducible(t *testing.T) {
+	cfg := shardedCfg(7, 120)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Errorf("sharded trace hash diverged: %#x vs %#x (events %v vs %v, ops %d vs %d)",
+			a.TraceHash, b.TraceHash, a.SiteEvents, b.SiteEvents, a.Ops, b.Ops)
+	}
+	if a.Violation != nil {
+		t.Errorf("unexpected violation: %v", a.Violation)
+	}
+}
+
+// TestSimShardedSweepSmall sweeps a few seeds with faults through the
+// sharded configuration.
+func TestSimShardedSweepSmall(t *testing.T) {
+	n := 4
+	if testing.Short() {
+		n = 2
+	}
+	failures, err := Sweep(shardedCfg(0, 60), 100, n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("sharded seed %d: %v\n%s", f.Seed, f.Violation, f.Report)
+	}
+}

@@ -56,6 +56,18 @@ type Config struct {
 	// ride epoch boundaries. Off (the default) is byte-identical to
 	// pre-epoch builds: same trace hashes for the same seed.
 	Epochs bool
+	// Partitions, when > 0, shards the cluster's key space over that
+	// many virtual partitions with replication factor RF (see
+	// cluster.Config). The oracles then check per partition: each key
+	// converges and conserves AV across its replica set, and a store
+	// locality oracle asserts no site holds a foreign key. Expected
+	// stock is accounted at the APPLYING site via the update observer —
+	// in a routed world the origin's error is not ground truth (a lost
+	// RouteReply means "rejected" at the origin and "committed" at the
+	// owner). Zero keeps legacy full replication, byte-identical traces
+	// included.
+	Partitions int
+	RF         int
 
 	// Deliberate-bug knobs for oracle self-tests: when MintAt > 0, at
 	// that tick MintAmount units of the first regular key's AV are
@@ -92,7 +104,7 @@ func (cfg Config) withDefaults() Config {
 // about the system under test, not a harness failure (those are the
 // error return of Run).
 type Violation struct {
-	Oracle string // conservation | no-mint | atomicity | history | convergence | obligations | read-plane | unexpected-error
+	Oracle string // conservation | no-mint | atomicity | history | convergence | obligations | read-plane | locality | unexpected-error
 	Detail string
 }
 
@@ -206,8 +218,30 @@ type harness struct {
 	// operations; appliedNR is, per non-regular key and site, the sum of
 	// 2PC commit deltas that site actually applied (from Outcome
 	// observations), which is exactly the value the site must hold.
+	// In partitioned mode expected is fed by the cluster's update
+	// observer (commits land at the applying site, possibly not the
+	// origin), so it has its own lock; legacy mode mutates it only from
+	// the driver goroutine between settled steps.
+	emu       sync.Mutex
 	expected  map[string]int64
 	appliedNR map[string]map[wire.SiteID]int64
+}
+
+// addExpected records a committed Delay Update against the expected
+// stock; ignores non-regular keys (not tracked in expected).
+func (h *harness) addExpected(key string, delta int64) {
+	h.emu.Lock()
+	if _, ok := h.expected[key]; ok {
+		h.expected[key] += delta
+	}
+	h.emu.Unlock()
+}
+
+// expectedFor reads one key's expected stock under the lock.
+func (h *harness) expectedFor(key string) int64 {
+	h.emu.Lock()
+	defer h.emu.Unlock()
+	return h.expected[key]
 }
 
 // Run executes one simulation. The error return reports harness
@@ -248,13 +282,15 @@ func Run(cfg Config) (Result, error) {
 		// deterministic.
 		epochInterval = 2 * time.Millisecond
 	}
-	c, err := h.buildCluster(cluster.Config{
+	ccfg := cluster.Config{
 		Sites:              cfg.Sites,
 		Items:              cfg.Items,
 		InitialAmount:      cfg.InitialAmount,
 		NonRegularFraction: cfg.NonRegularFraction,
 		Seed:               cfg.Seed,
 		Dir:                dir,
+		Partitions:         cfg.Partitions,
+		RF:                 cfg.RF,
 		EpochInterval:      epochInterval,
 		Clock:              h.clk,
 		Interceptor:        h.inj,
@@ -274,7 +310,12 @@ func Run(cfg Config) (Result, error) {
 		LockTimeout:        100 * time.Millisecond,
 		FlushPeerTimeout:   200 * time.Millisecond,
 		SuspectAfter:       1000 * time.Hour,
-	})
+	}
+	if cfg.Partitions > 0 {
+		// Ground-truth accounting at the applying site (see Config).
+		ccfg.UpdateObserver = h.addExpected
+	}
+	c, err := h.buildCluster(ccfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -368,8 +409,12 @@ func (h *harness) run(steps []chaos.Step) (Result, error) {
 			switch out {
 			case opCommit:
 				res.Commits++
-				if _, regular := h.expected[key]; regular {
-					h.expected[key] += delta
+				// Partitioned runs account at the applying site via the
+				// update observer (the commit may have landed remotely, and
+				// a routed outcome can even be "rejected" at the origin when
+				// only the reply was lost); counting here too would double.
+				if cfg.Partitions == 0 {
+					h.addExpected(key, delta)
 				}
 			case opAbort:
 				res.Aborts++
@@ -461,15 +506,16 @@ func (h *harness) quiesce(ctx context.Context) error {
 }
 
 // settle waits for the network to reach its fixpoint. With epochs off
-// that is full quiescence (no message in flight, no handler running —
-// the blocking Settle). With epochs on, a handler may park on an epoch
-// boundary that only a virtual-clock advance can close, keeping its
-// inbound message in flight indefinitely — full settle is then
-// unreachable, so the fixpoint is an activity level that holds still:
-// every deliverable message delivered, every handler either finished or
-// timer-parked.
+// and no partitioning that is full quiescence (no message in flight,
+// no handler running — the blocking Settle). With epochs on, a handler
+// may park on an epoch boundary that only a virtual-clock advance can
+// close; with partitioning on, a routed update runs its whole update
+// path inside a handler, so the handler can park on a 2PC or transfer
+// deadline the same way. Either way full settle is unreachable, so the
+// fixpoint is an activity level that holds still: every deliverable
+// message delivered, every handler either finished or timer-parked.
 func (h *harness) settle() {
-	if !h.cfg.Epochs {
+	if !h.cfg.Epochs && h.cfg.Partitions == 0 {
 		h.c.Net.Settle()
 		return
 	}
@@ -583,7 +629,7 @@ func (h *harness) checkNoMint() *Violation {
 		for _, s := range h.c.Sites {
 			sum += s.AV().Total(key) - s.AV().Escrowed(key)
 		}
-		if want := h.expected[key]; sum > want {
+		if want := h.expectedFor(key); sum > want {
 			return &Violation{Oracle: "no-mint",
 				Detail: fmt.Sprintf("key %s: free+held AV %d exceeds applied stock %d mid-run", key, sum, want)}
 		}
@@ -705,7 +751,7 @@ func (h *harness) checkOracles() *Violation {
 		if err != nil {
 			return &Violation{Oracle: "convergence", Detail: err.Error()}
 		}
-		if want := h.expected[key]; v != want {
+		if want := h.expectedFor(key); v != want {
 			return &Violation{Oracle: "history",
 				Detail: fmt.Sprintf("key %s converged to %d, applied operations imply %d", key, v, want)}
 		}
@@ -747,7 +793,7 @@ func (h *harness) checkOracles() *Violation {
 	// reached a participant (its prepare was swept), and then the
 	// site's value must still equal precisely the commits it did apply.
 	for _, key := range c.NonRegularKeys {
-		for i := range c.Sites {
+		for _, i := range c.HostSitesFor(key) {
 			got, err := c.Read(i, key)
 			if err != nil {
 				return &Violation{Oracle: "history", Detail: fmt.Sprintf("key %s site %d: %v", key, i, err)}
@@ -757,6 +803,14 @@ func (h *harness) checkOracles() *Violation {
 				return &Violation{Oracle: "history",
 					Detail: fmt.Sprintf("key %s site %d holds %d, its applied commit history implies %d", key, i, got, want)}
 			}
+		}
+	}
+
+	// Partitioned runs additionally prove partial replication held: no
+	// site's store ever received a key outside its hosted partitions.
+	if h.cfg.Partitions > 0 {
+		if err := c.CheckStoreLocality(); err != nil {
+			return &Violation{Oracle: "locality", Detail: err.Error()}
 		}
 	}
 

@@ -175,12 +175,17 @@ func TestSimSeedSweepNightly(t *testing.T) {
 		}
 		start = v
 	}
-	// Sweep both commit pipelines under the same seeds and oracles.
+	// Sweep both commit pipelines plus the sharded configuration under
+	// the same seeds and oracles.
 	for _, mode := range []struct {
-		name   string
-		epochs bool
-	}{{"group-commit", false}, {"epochs", true}} {
-		failures, err := Sweep(Config{Epochs: mode.epochs}, start, n, os.Stderr)
+		name string
+		cfg  Config
+	}{
+		{"group-commit", Config{}},
+		{"epochs", Config{Epochs: true}},
+		{"sharded", Config{Sites: 6, Items: 12, Partitions: 16, RF: 2}},
+	} {
+		failures, err := Sweep(mode.cfg, start, n, os.Stderr)
 		if err != nil {
 			t.Fatal(err)
 		}

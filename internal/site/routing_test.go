@@ -1,0 +1,146 @@
+package site
+
+import (
+	"fmt"
+	"testing"
+
+	"avdb/internal/partition"
+	"avdb/internal/storage"
+	"avdb/internal/transport/memnet"
+	"avdb/internal/wire"
+)
+
+// A site holding a stale partition map forwards to a site that no
+// longer hosts the key; the rejection carries the newer map, the
+// sender adopts it and the retried update lands on the right replica.
+func TestStaleMapRedirectAndRetry(t *testing.T) {
+	mapOld, err := partition.New([]wire.SiteID{0, 1}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapNew, err := mapOld.WithSites([]wire.SiteID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A key that moved: owned by site 1 under the old map, by the
+	// newcomer site 2 under the new one.
+	key := ""
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("product-%04d", i)
+		if mapOld.OwnerOf(k) == 1 && mapNew.OwnerOf(k) == 2 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no moved key found")
+	}
+
+	net := memnet.New(memnet.Options{})
+	open := func(id wire.SiteID, pm *partition.Map) *Site {
+		var peers []wire.SiteID
+		for p := wire.SiteID(0); p < 3; p++ {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		s, err := Open(Config{ID: id, Base: 0, Peers: peers, Partitions: pm}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	origin := open(0, mapOld) // stale
+	open(1, mapNew)           // old owner, current map
+	owner := open(2, mapNew)  // new owner
+
+	if err := owner.Seed(storage.Record{Key: key, Amount: 50, Class: storage.Regular}); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.DefineAV(key, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := origin.Update(bg(), key, -3)
+	if err != nil {
+		t.Fatalf("routed update after redirect: %v", err)
+	}
+	if res.LSN != 0 {
+		t.Fatalf("forwarded result carries a local LSN %d", res.LSN)
+	}
+	if got := origin.PartitionMap().Version(); got != mapNew.Version() {
+		t.Fatalf("origin map version = %d, want %d (adopted)", got, mapNew.Version())
+	}
+	rs := origin.RouteStats()
+	if rs.MapRefreshes != 1 {
+		t.Fatalf("map refreshes = %d, want 1", rs.MapRefreshes)
+	}
+	if rs.Forwarded != 1 {
+		t.Fatalf("forwarded = %d, want 1", rs.Forwarded)
+	}
+	if v, err := owner.Read(key); err != nil || v != 47 {
+		t.Fatalf("owner value = %d, %v, want 47", v, err)
+	}
+	// The old owner must have rejected, not applied: it never stored
+	// the key, so a read there fails.
+	if rsOld := origin.RouteStats(); rsOld.Misroutes != 0 {
+		t.Fatalf("origin counted misroutes: %+v", rsOld)
+	}
+}
+
+// An origin whose stale map still agrees with the receiver about the
+// key keeps working: version skew alone never fails an update, it just
+// refreshes the map opportunistically.
+func TestVersionSkewOnAgreeingRouteStillServes(t *testing.T) {
+	mapOld, err := partition.New([]wire.SiteID{0, 1}, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapNew, err := mapOld.WithSites([]wire.SiteID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A key that did NOT move: owned by site 1 under both maps.
+	key := ""
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("product-%04d", i)
+		if mapOld.OwnerOf(k) == 1 && mapNew.OwnerOf(k) == 1 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no stable key found")
+	}
+
+	net := memnet.New(memnet.Options{})
+	origin, err := Open(Config{ID: 0, Peers: []wire.SiteID{1, 2}, Partitions: mapOld}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	ownerSite, err := Open(Config{ID: 1, Peers: []wire.SiteID{0, 2}, Partitions: mapNew}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ownerSite.Close()
+	if err := ownerSite.Seed(storage.Record{Key: key, Amount: 50, Class: storage.Regular}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ownerSite.DefineAV(key, 50); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := origin.Update(bg(), key, -2); err != nil {
+		t.Fatalf("update across version skew: %v", err)
+	}
+	if v, _ := ownerSite.Read(key); v != 48 {
+		t.Fatalf("owner value = %d, want 48", v)
+	}
+	// The reply piggybacked the newer map; the origin adopted it.
+	if got := origin.PartitionMap().Version(); got != mapNew.Version() {
+		t.Fatalf("origin map version = %d, want %d", got, mapNew.Version())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"avdb/internal/av"
@@ -21,6 +22,7 @@ import (
 	"avdb/internal/eventlog"
 	"avdb/internal/failure"
 	"avdb/internal/lockmgr"
+	"avdb/internal/partition"
 	"avdb/internal/readplane"
 	"avdb/internal/replica"
 	"avdb/internal/storage"
@@ -139,6 +141,18 @@ type Config struct {
 	ReadPlane bool
 	// ReadPlaneTopK bounds the hot view (default 10).
 	ReadPlaneTopK int
+	// Partitions, when non-nil, shards the key space: this site hosts
+	// (stores, anti-entropies, gossips, accounts AV for) only the
+	// partitions the map assigns it, and forwards updates for foreign
+	// keys to the owning replica set (see routing.go). Nil keeps full
+	// replication — every legacy code path byte-identical.
+	Partitions *partition.Map
+	// UpdateObserver, when non-nil, fires exactly once per Delay Update
+	// committed at THIS site — including updates that arrived routed
+	// from another site. The simulator's per-partition conservation
+	// oracle hangs off this: in a routed world the applying site, not
+	// the origin, is the ground truth for what committed.
+	UpdateObserver func(key string, delta int64)
 }
 
 // Site is one running node.
@@ -155,6 +169,15 @@ type Site struct {
 	det   *failure.Detector
 	feed  *eventlog.Log    // apply stream feeding the read plane
 	plane *readplane.Plane // nil unless cfg.ReadPlane
+
+	// Partition routing state (nil/zero when partitioning is off). The
+	// map pointer is atomic because routed replies can refresh it while
+	// updates are in flight.
+	pm             atomic.Pointer[partition.Map]
+	routeForwarded atomic.Uint64
+	routeServed    atomic.Uint64
+	routeMisroutes atomic.Uint64
+	routeRefreshes atomic.Uint64
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -188,6 +211,9 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		eng:  eng,
 		stop: make(chan struct{}),
 	}
+	if cfg.Partitions != nil {
+		s.pm.Store(cfg.Partitions)
+	}
 	if cfg.PersistAV {
 		if cfg.StorageDir == "" {
 			eng.Close()
@@ -212,7 +238,7 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		s.avt = av.NewTable()
 	}
 	s.tm = txn.NewManager(eng, lockmgr.Options{WaitTimeout: cfg.LockTimeout})
-	s.iu = twopc.New(twopc.Options{
+	iuOpts := twopc.Options{
 		Site:           cfg.ID,
 		Base:           cfg.Base,
 		PrepareTimeout: cfg.PrepareTimeout,
@@ -221,7 +247,15 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Observer:       cfg.TxnObserver,
 		IDEpoch:        cfg.TxnIDEpoch,
 		Epochs:         eng.Epochs(),
-	}, s.tm)
+	}
+	if cfg.Partitions != nil {
+		// Sharded mode: each key's primary is its partition owner, not
+		// the single cluster-wide base.
+		iuOpts.BaseFor = func(key string) wire.SiteID {
+			return s.pm.Load().OwnerOf(key)
+		}
+	}
+	s.iu = twopc.New(iuOpts, s.tm)
 	if cfg.StorageDir != "" {
 		// A durable engine needs durable replication state, or a restart
 		// could double-apply retransmissions and lose unpropagated deltas.
@@ -239,8 +273,17 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 	if cfg.FlushPeerTimeout > 0 || cfg.FlushBackoff.BaseDelay > 0 {
 		s.repl.SetFlushPolicy(cfg.FlushPeerTimeout, cfg.FlushBackoff, cfg.Clock)
 	}
+	if cfg.Partitions != nil {
+		// Partial replication: deltas flow only to sites hosting the
+		// key's partition, and inbound deltas for foreign partitions
+		// are acknowledged but never applied.
+		s.repl.SetPartitionFilter(
+			func(peer wire.SiteID, key string) bool { return s.pm.Load().HostsKey(peer, key) },
+			func(key string) bool { return s.pm.Load().HostsKey(cfg.ID, key) },
+		)
+	}
 	s.det = failure.NewDetector(cfg.SuspectAfter, cfg.Clock)
-	s.accel = core.New(core.Config{
+	coreCfg := core.Config{
 		Site:           cfg.ID,
 		Base:           cfg.Base,
 		Peers:          cfg.Peers,
@@ -255,7 +298,15 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 		Escrow:         cfg.EscrowTransfers,
 		Clock:          cfg.Clock,
 		XferSalt:       cfg.XferSalt,
-	}, s.avt, s.tm, s.iu, s.repl)
+		OnCommit:       cfg.UpdateObserver,
+	}
+	if cfg.Partitions != nil {
+		// AV gathering and gossip stay inside the key's replica set.
+		coreCfg.PeersFor = func(key string) []wire.SiteID {
+			return s.pm.Load().PeersFor(cfg.ID, key)
+		}
+	}
+	s.accel = core.New(coreCfg, s.avt, s.tm, s.iu, s.repl)
 
 	if cfg.ReadPlane {
 		// The feed must be live before the plane snapshots the engine:
@@ -358,6 +409,8 @@ func (s *Site) handle(ctx context.Context, from wire.SiteID, msg wire.Message) w
 		s.event("recv."+msg.Kind().String(), key, "from=%d", from)
 	}
 	switch m := msg.(type) {
+	case *wire.RouteUpdate:
+		return s.handleRouteUpdate(ctx, from, m)
 	case *wire.AVRequest:
 		return s.accel.HandleAVRequest(ctx, from, m)
 	case *wire.AVSettle:
@@ -489,8 +542,19 @@ func (s *Site) DefineAV(key string, volume int64) error {
 
 // Update applies delta to key through the accelerator. When tracing is
 // on, the whole update becomes one trace rooted here; remote spans the
-// protocol causes (AV grants, 2PC votes) link back to it.
+// protocol causes (AV grants, 2PC votes) link back to it. Under a
+// partition map, updates for keys this site does not host are
+// forwarded to the owning replica set (see routing.go).
 func (s *Site) Update(ctx context.Context, key string, delta int64) (core.Result, error) {
+	if pm := s.pm.Load(); pm != nil && !pm.HostsKey(s.cfg.ID, key) {
+		return s.forwardUpdate(ctx, key, delta)
+	}
+	return s.updateLocal(ctx, key, delta)
+}
+
+// updateLocal executes an update on this site's own accelerator,
+// bypassing the routing check — the serve path for routed updates.
+func (s *Site) updateLocal(ctx context.Context, key string, delta int64) (core.Result, error) {
 	ctx, sp := s.cfg.Tracer.Start(ctx, s.cfg.ID, "update")
 	res, err := s.accel.Update(ctx, key, delta)
 	if sp != nil {

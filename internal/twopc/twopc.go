@@ -66,6 +66,10 @@ type Options struct {
 	Site wire.SiteID
 	// Base is the site hosting the primary copy (site 0 in the paper).
 	Base wire.SiteID
+	// BaseFor, when non-nil, supplies the primary-copy site per key: on
+	// a partitioned cluster each key's base is its partition's owner,
+	// not one global site. Nil keeps the single Base for every key.
+	BaseFor func(key string) wire.SiteID
 	// Validate approves tentative updates (default NonNegative).
 	Validate Validator
 	// PrepareTimeout bounds each remote prepare/decision call
@@ -323,10 +327,14 @@ func (e *Engine) Update(ctx context.Context, peers []wire.SiteID, key string, de
 		return fmt.Errorf("%w: local commit: %v", ErrAborted, err)
 	}
 	e.observe(txnID, key, true, false)
-	baseAcked := e.opts.Base == e.opts.Site // self-ack when we host the base
+	base := e.opts.Base
+	if e.opts.BaseFor != nil {
+		base = e.opts.BaseFor(key)
+	}
+	baseAcked := base == e.opts.Site // self-ack when we host the base
 	crossEpoch := false
 	e.broadcastDecision(ctx, peers, txnID, true, func(p wire.SiteID, ok bool, ackEpoch uint64) {
-		if p == e.opts.Base && ok {
+		if p == base && ok {
 			baseAcked = true
 		}
 		// An OK ack whose durable epoch is beyond every prepare epoch

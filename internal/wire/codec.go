@@ -92,6 +92,15 @@ func (r *reader) str() (string, error) {
 	return s, nil
 }
 
+func (r *reader) byte() (uint8, error) {
+	if len(r.b) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
 func (r *reader) boolean() (bool, error) {
 	if len(r.b) < 1 {
 		return false, ErrTruncated

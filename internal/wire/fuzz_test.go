@@ -30,6 +30,11 @@ func fuzzSeeds() []*Envelope {
 		&Pong{},
 		&AVSettle{Xfer: 0x700000001, Cancel: true},
 		&AVSettleAck{Xfer: 0x700000001, Amount: 10},
+		&DeltaSync{Origin: 1, FirstSeq: 7, Deltas: []Delta{{Seq: 9, Key: "a", Amount: -3}}, WindowTop: 11},
+		&RouteUpdate{MapVersion: 1, Key: "product-0005", Delta: -4},
+		&RouteReply{Status: RouteOK, Path: 0, Rounds: 1, Transferred: 5},
+		&RouteReply{Status: RouteNotReplica, Reason: "not hosted",
+			MapVersion: 2, Parts: 16, RF: 2, MapSites: []SiteID{0, 1, 2}},
 	}
 	envs := make([]*Envelope, 0, len(msgs)+1)
 	for i, m := range msgs {

@@ -49,6 +49,11 @@ const (
 	// cancels (returns) a grant the granter parked in escrow.
 	KindAVSettle
 	KindAVSettleAck
+
+	// Partitioned routing: an update forwarded to a replica of the key's
+	// partition, and its outcome (possibly a map redirect).
+	KindRouteUpdate
+	KindRouteReply
 )
 
 var kindNames = map[Kind]string{
@@ -69,6 +74,8 @@ var kindNames = map[Kind]string{
 	KindPong:          "pong",
 	KindAVSettle:      "av.settle",
 	KindAVSettleAck:   "av.settle.ack",
+	KindRouteUpdate:   "route.update",
+	KindRouteReply:    "route.reply",
 }
 
 // String returns the dotted metric name for the kind ("av.request", ...).
@@ -216,10 +223,20 @@ type Delta struct {
 // whole batch if and only if FirstSeq is exactly one past its applied
 // watermark, acknowledging its current watermark otherwise so the
 // sender realigns on the next flush.
+//
+// WindowTop, when nonzero, is the last origin sequence the coalesced
+// window covers. A partially replicating sender (partitioned clusters)
+// filters out entries for partitions the receiver does not host, so
+// the window may end past the highest surviving entry — or contain no
+// entries at all — and the receiver must still advance its watermark to
+// WindowTop or the sender would retransmit the filtered window forever.
+// Zero (encoded by omission, byte-identical to the legacy format) means
+// the window ends at the highest entry Seq, the full-replication rule.
 type DeltaSync struct {
-	Origin   SiteID
-	FirstSeq uint64
-	Deltas   []Delta
+	Origin    SiteID
+	FirstSeq  uint64
+	Deltas    []Delta
+	WindowTop uint64
 }
 
 // Kind implements Message.
@@ -233,6 +250,9 @@ func (m *DeltaSync) encode(b []byte) []byte {
 		b = appendUvarint(b, d.Seq)
 		b = appendString(b, d.Key)
 		b = appendVarint(b, d.Amount)
+	}
+	if m.WindowTop != 0 {
+		b = appendUvarint(b, m.WindowTop)
 	}
 	return b
 }
@@ -263,6 +283,14 @@ func (m *DeltaSync) decode(r *reader) error {
 		}
 		if m.Deltas[i].Amount, err = r.varint(); err != nil {
 			return err
+		}
+	}
+	if r.remaining() > 0 {
+		if m.WindowTop, err = r.uvarint(); err != nil {
+			return err
+		}
+		if m.WindowTop == 0 {
+			return ErrNonCanonical
 		}
 	}
 	return nil
@@ -609,6 +637,152 @@ func (m *AVSettleAck) decode(r *reader) (err error) {
 	return err
 }
 
+// RouteUpdate forwards an update to a site hosting the key's partition
+// (normally the owner). MapVersion is the sender's partition-map
+// version, so the receiver can detect that the sender routed by a
+// different map and attach its own to the reply.
+type RouteUpdate struct {
+	MapVersion uint64
+	Key        string
+	Delta      int64
+}
+
+// Kind implements Message.
+func (*RouteUpdate) Kind() Kind { return KindRouteUpdate }
+
+func (m *RouteUpdate) encode(b []byte) []byte {
+	b = appendUvarint(b, m.MapVersion)
+	b = appendString(b, m.Key)
+	return appendVarint(b, m.Delta)
+}
+
+func (m *RouteUpdate) decode(r *reader) (err error) {
+	if m.MapVersion, err = r.uvarint(); err != nil {
+		return err
+	}
+	if m.Key, err = r.str(); err != nil {
+		return err
+	}
+	m.Delta, err = r.varint()
+	return err
+}
+
+// RouteReply statuses.
+const (
+	RouteOK         uint8 = iota // update applied at the serving replica
+	RouteNotReplica              // receiver does not host the key's partition
+	RouteErr                     // receiver hosts it but the update failed
+)
+
+// RouteReply error classes: a routed update's failure collapsed to the
+// sender-side sentinel it must map back onto, so the origin classifies
+// forwarded outcomes exactly as local ones.
+const (
+	RouteErrNone           uint8 = iota
+	RouteErrInsufficientAV       // core.ErrInsufficientAV
+	RouteErrAborted              // twopc.ErrAborted
+	RouteErrUnknown              // twopc.ErrCompletionUnknown
+	RouteErrOther
+)
+
+// RouteReply reports a RouteUpdate's outcome. On RouteOK, Path, Rounds
+// and Transferred mirror the serving replica's core.Result. On
+// RouteErr, ErrClass and Reason carry the failure. Whenever the
+// receiver's partition map differs from the sender's, MapVersion is
+// nonzero and MapVersion/Parts/RF/MapSites carry the receiver's map so
+// a stale sender can rebuild it and re-route (RouteNotReplica always
+// attaches it: the redirect of PROTOCOL.md's stale-map rule).
+type RouteReply struct {
+	Status      uint8
+	ErrClass    uint8
+	Reason      string
+	Path        uint8
+	Rounds      uint32
+	Transferred int64
+
+	// Redirect map (absent when MapVersion is 0).
+	MapVersion uint64
+	Parts      uint32
+	RF         uint32
+	MapSites   []SiteID
+}
+
+// Kind implements Message.
+func (*RouteReply) Kind() Kind { return KindRouteReply }
+
+func (m *RouteReply) encode(b []byte) []byte {
+	b = append(b, m.Status, m.ErrClass)
+	b = appendString(b, m.Reason)
+	b = append(b, m.Path)
+	b = appendUvarint(b, uint64(m.Rounds))
+	b = appendVarint(b, m.Transferred)
+	b = appendUvarint(b, m.MapVersion)
+	if m.MapVersion != 0 {
+		b = appendUvarint(b, uint64(m.Parts))
+		b = appendUvarint(b, uint64(m.RF))
+		b = appendUvarint(b, uint64(len(m.MapSites)))
+		for _, s := range m.MapSites {
+			b = appendUvarint(b, uint64(s))
+		}
+	}
+	return b
+}
+
+func (m *RouteReply) decode(r *reader) (err error) {
+	if m.Status, err = r.byte(); err != nil {
+		return err
+	}
+	if m.ErrClass, err = r.byte(); err != nil {
+		return err
+	}
+	if m.Reason, err = r.str(); err != nil {
+		return err
+	}
+	if m.Path, err = r.byte(); err != nil {
+		return err
+	}
+	rounds, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	m.Rounds = uint32(rounds)
+	if m.Transferred, err = r.varint(); err != nil {
+		return err
+	}
+	if m.MapVersion, err = r.uvarint(); err != nil {
+		return err
+	}
+	if m.MapVersion == 0 {
+		return nil
+	}
+	parts, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	m.Parts = uint32(parts)
+	rf, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	m.RF = uint32(rf)
+	n, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > uint64(r.remaining()) {
+		return ErrTooLong
+	}
+	m.MapSites = make([]SiteID, n)
+	for i := range m.MapSites {
+		s, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		m.MapSites[i] = SiteID(s)
+	}
+	return nil
+}
+
 // newMessage returns a zero value of the concrete type for kind.
 func newMessage(k Kind) (Message, error) {
 	switch k {
@@ -646,6 +820,10 @@ func newMessage(k Kind) (Message, error) {
 		return &AVSettle{}, nil
 	case KindAVSettleAck:
 		return &AVSettleAck{}, nil
+	case KindRouteUpdate:
+		return &RouteUpdate{}, nil
+	case KindRouteReply:
+		return &RouteReply{}, nil
 	default:
 		return nil, ErrBadKind
 	}

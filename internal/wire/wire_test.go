@@ -51,6 +51,14 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&AVSettle{Xfer: 0xABCDEF0123, Cancel: true},
 		&AVSettleAck{Xfer: 42, Amount: 0},
 		&AVSettleAck{Xfer: 1, Amount: 99},
+		&DeltaSync{Origin: 3, FirstSeq: 10, Deltas: []Delta{{Seq: 12, Key: "a", Amount: -3}}, WindowTop: 15},
+		&DeltaSync{Origin: 3, FirstSeq: 10, Deltas: nil, WindowTop: 11},
+		&RouteUpdate{MapVersion: 1, Key: "p42", Delta: -9},
+		&RouteUpdate{MapVersion: 7, Key: "", Delta: 0},
+		&RouteReply{Status: RouteOK, Path: 1, Rounds: 2, Transferred: 30},
+		&RouteReply{Status: RouteErr, ErrClass: RouteErrInsufficientAV, Reason: "need 9 held 4"},
+		&RouteReply{Status: RouteNotReplica, Reason: "partition 3 not hosted",
+			MapVersion: 2, Parts: 16, RF: 2, MapSites: []SiteID{0, 1, 2, 3, 4, 5}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -76,6 +84,23 @@ func TestAVRequestXferOptionalField(t *testing.T) {
 	// Hand-append an explicit zero varint for Xfer: must be rejected.
 	if _, err := DecodeEnvelope(append(append([]byte{}, legacy...), 0x00)); err == nil {
 		t.Fatal("explicit zero Xfer accepted")
+	}
+}
+
+// TestDeltaSyncWindowTopOptionalField pins the trailing-field contract
+// for WindowTop: full-replication senders (WindowTop zero) encode
+// byte-identically to the legacy format, and an explicitly-encoded zero
+// is rejected as non-canonical.
+func TestDeltaSyncWindowTopOptionalField(t *testing.T) {
+	base := &DeltaSync{Origin: 1, FirstSeq: 4, Deltas: []Delta{{Seq: 5, Key: "k", Amount: 2}}}
+	legacy := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3, Msg: base})
+	withZero := EncodeEnvelope(&Envelope{From: 1, To: 2, Seq: 3,
+		Msg: &DeltaSync{Origin: 1, FirstSeq: 4, Deltas: base.Deltas, WindowTop: 0}})
+	if !reflect.DeepEqual(legacy, withZero) {
+		t.Fatalf("zero WindowTop changed the encoding:\nlegacy %x\n  zero %x", legacy, withZero)
+	}
+	if _, err := DecodeEnvelope(append(append([]byte{}, legacy...), 0x00)); err == nil {
+		t.Fatal("explicit zero WindowTop accepted")
 	}
 }
 

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"avdb/internal/rng"
+)
+
+// ZipfConfig parameterizes the scale workload: SCM delta rules over a
+// large key space with Zipfian popularity and optional site affinity.
+// The generator draws from three independent substreams — site/delta,
+// key rank, and affinity — so changing the key-space size or the skew
+// exponent never perturbs the site and delta schedule, and enabling
+// affinity never perturbs the key schedule.
+type ZipfConfig struct {
+	SCMConfig
+	// Theta is the Zipfian skew exponent in [0, 1): 0 is uniform and
+	// values near 1 concentrate traffic on few keys (default 0.99, the
+	// YCSB convention).
+	Theta float64
+	// SiteAffinity is the probability an operation originates at its
+	// key's home site instead of the SCM-drawn site. Useful with
+	// partitioned clusters, where home-site updates avoid a forward hop.
+	SiteAffinity float64
+	// HomeSite maps a key to its home site (typically the partition
+	// owner). Required when SiteAffinity > 0.
+	HomeSite func(key string) int
+}
+
+// Zipf generates SCM-shaped updates with Zipfian key popularity. Ranks
+// are scattered across the catalog with a coprime multiplier so the hot
+// keys are spread over partitions instead of clustering at the low
+// indices.
+type Zipf struct {
+	cfg      ZipfConfig
+	r        *rng.Rand // site + delta substream
+	kr       *rng.Rand // key-rank substream
+	ar       *rng.Rand // affinity substream
+	makerMax int64
+	retMax   int64
+	rr       int
+
+	n     int
+	mult  uint64
+	theta float64
+	zetan float64
+	half  float64 // 0.5^theta
+	alpha float64
+	eta   float64
+}
+
+// NewZipf builds the generator. len(cfg.Keys) is the key space; use
+// Keys(n) for paper-style catalogs of any size.
+func NewZipf(cfg ZipfConfig) (*Zipf, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("workload: need >= 1 site")
+	}
+	if len(cfg.Keys) == 0 {
+		return nil, fmt.Errorf("workload: need >= 1 key")
+	}
+	if cfg.InitialAmount < 1 {
+		return nil, fmt.Errorf("workload: need positive initial amount")
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.99
+	}
+	if cfg.Theta < 0 || cfg.Theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta %v outside [0, 1)", cfg.Theta)
+	}
+	if cfg.SiteAffinity < 0 || cfg.SiteAffinity > 1 {
+		return nil, fmt.Errorf("workload: site affinity %v outside [0, 1]", cfg.SiteAffinity)
+	}
+	if cfg.SiteAffinity > 0 && cfg.HomeSite == nil {
+		return nil, fmt.Errorf("workload: site affinity needs a HomeSite map")
+	}
+	if cfg.MakerIncreaseFrac == 0 {
+		cfg.MakerIncreaseFrac = 0.20
+	}
+	if cfg.RetailerDecreaseFrac == 0 {
+		cfg.RetailerDecreaseFrac = 0.10
+	}
+	g := &Zipf{
+		cfg:      cfg,
+		r:        rng.New(cfg.Seed),
+		kr:       rng.New(cfg.Seed ^ 0x21AF7E3D5B9C0441),
+		ar:       rng.New(cfg.Seed ^ 0xAFF1A17E00C0FFEE),
+		makerMax: int64(cfg.MakerIncreaseFrac * float64(cfg.InitialAmount)),
+		retMax:   int64(cfg.RetailerDecreaseFrac * float64(cfg.InitialAmount)),
+		n:        len(cfg.Keys),
+		theta:    cfg.Theta,
+	}
+	if g.makerMax < 1 {
+		g.makerMax = 1
+	}
+	if g.retMax < 1 {
+		g.retMax = 1
+	}
+	// Knuth's multiplicative-hash constant, nudged until coprime with the
+	// key count so rank -> index stays a bijection.
+	g.mult = 2654435761
+	for gcd(g.mult, uint64(g.n)) != 1 {
+		g.mult++
+	}
+	// YCSB's bounded zipfian: precompute the generalized harmonic number
+	// and the interpolation constants once; sampling is then one uniform
+	// draw plus arithmetic.
+	for i := 1; i <= g.n; i++ {
+		g.zetan += 1 / math.Pow(float64(i), g.theta)
+	}
+	g.half = math.Pow(0.5, g.theta)
+	g.alpha = 1 / (1 - g.theta)
+	zeta2 := 1 + g.half
+	g.eta = (1 - math.Pow(2/float64(g.n), 1-g.theta)) / (1 - zeta2/g.zetan)
+	return g, nil
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// rank samples a Zipf-distributed rank in [0, n): rank 0 is the hottest.
+func (g *Zipf) rank() int {
+	u := g.kr.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+g.half {
+		return 1
+	}
+	return int(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+}
+
+// Next implements Generator. Draw order is fixed — key rank, then site,
+// then one delta uniform, then (when enabled) affinity — and every draw
+// happens on every call, so parameter changes cannot shift a substream.
+func (g *Zipf) Next() Op {
+	idx := int(uint64(g.rank()) * g.mult % uint64(g.n))
+	key := g.cfg.Keys[idx]
+	var site int
+	if g.cfg.RoundRobinSites {
+		site = g.rr % g.cfg.Sites
+		g.rr++
+	} else {
+		site = g.r.Intn(g.cfg.Sites)
+	}
+	// One uniform covers the delta regardless of which site ends up
+	// originating: the sign and bound follow the final site.
+	u := g.r.Float64()
+	if g.cfg.SiteAffinity > 0 && g.ar.Bool(g.cfg.SiteAffinity) {
+		site = g.cfg.HomeSite(key)
+	}
+	var delta int64
+	if site == 0 {
+		delta = 1 + int64(u*float64(g.makerMax))
+	} else {
+		delta = -(1 + int64(u*float64(g.retMax)))
+	}
+	return Op{Site: site, Key: key, Delta: delta}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+)
+
+func zipfCfg(keys int) ZipfConfig {
+	return ZipfConfig{
+		SCMConfig: SCMConfig{
+			Sites:         6,
+			Keys:          Keys(keys),
+			InitialAmount: 400,
+			Seed:          11,
+		},
+	}
+}
+
+// TestZipfSkewConcentration checks the sampler actually skews: under
+// theta 0.99 the hottest 1% of keys must absorb far more than 1% of the
+// operations, and theta near 0 must stay close to uniform.
+func TestZipfSkewConcentration(t *testing.T) {
+	const keys, draws = 10000, 200000
+	mass := func(theta float64) float64 {
+		cfg := zipfCfg(keys)
+		cfg.Theta = theta
+		g, err := NewZipf(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := map[string]int{}
+		for i := 0; i < draws; i++ {
+			freq[g.Next().Key]++
+		}
+		counts := make([]int, 0, len(freq))
+		for _, c := range freq {
+			counts = append(counts, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for i := 0; i < keys/100 && i < len(counts); i++ {
+			top += counts[i]
+		}
+		return float64(top) / draws
+	}
+	if hot := mass(0.99); hot < 0.25 {
+		t.Errorf("theta 0.99: top 1%% of keys got %.3f of ops, want >= 0.25", hot)
+	}
+	if flat := mass(0.01); flat > 0.05 {
+		t.Errorf("theta 0.01: top 1%% of keys got %.3f of ops, want near uniform", flat)
+	}
+}
+
+// TestZipfSkewLeavesSiteStreamAlone pins the substream independence
+// contract: changing theta or the key-space size must leave the
+// site/delta schedule byte-identical.
+func TestZipfSkewLeavesSiteStreamAlone(t *testing.T) {
+	variants := []ZipfConfig{}
+	for _, theta := range []float64{0.5, 0.99} {
+		for _, keys := range []int{100, 100000} {
+			cfg := zipfCfg(keys)
+			cfg.Theta = theta
+			variants = append(variants, cfg)
+		}
+	}
+	type sd struct {
+		site  int
+		delta int64
+	}
+	var ref []sd
+	for vi, cfg := range variants {
+		g, err := NewZipf(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]sd, 500)
+		for i := range got {
+			op := g.Next()
+			got[i] = sd{op.Site, op.Delta}
+		}
+		if vi == 0 {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("variant %d (theta=%v keys=%d): op %d site/delta %v, want %v",
+					vi, cfg.Theta, len(cfg.Keys), i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestZipfSiteAffinity checks the affinity knob: at 1.0 every op lands
+// on its key's home site (with the delta sign following the final
+// site), and enabling it never changes which keys are drawn.
+func TestZipfSiteAffinity(t *testing.T) {
+	home := func(key string) int { return int(key[len(key)-1]-'0') % 6 }
+	base := zipfCfg(1000)
+	g0, err := NewZipf(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aff := base
+	aff.SiteAffinity = 1.0
+	aff.HomeSite = home
+	g1, err := NewZipf(aff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := g0.Next(), g1.Next()
+		if a.Key != b.Key {
+			t.Fatalf("op %d: affinity perturbed key stream: %q vs %q", i, a.Key, b.Key)
+		}
+		if want := home(b.Key); b.Site != want {
+			t.Fatalf("op %d: affinity 1.0 put %q at site %d, home is %d", i, b.Key, b.Site, want)
+		}
+		if b.Site == 0 && b.Delta <= 0 {
+			t.Fatalf("op %d: maker-site op has non-positive delta %d", i, b.Delta)
+		}
+		if b.Site != 0 && b.Delta >= 0 {
+			t.Fatalf("op %d: retailer-site op has non-negative delta %d", i, b.Delta)
+		}
+	}
+}
+
+// TestZipfRejectsBadConfig covers the validation edges.
+func TestZipfRejectsBadConfig(t *testing.T) {
+	bad := zipfCfg(10)
+	bad.Theta = 1.0
+	if _, err := NewZipf(bad); err == nil {
+		t.Error("theta 1.0 accepted")
+	}
+	bad = zipfCfg(10)
+	bad.SiteAffinity = 0.5
+	if _, err := NewZipf(bad); err == nil {
+		t.Error("affinity without HomeSite accepted")
+	}
+}
