@@ -19,10 +19,16 @@
 //	avbench -reads BENCH_5.json
 //	avbench -matrix BENCH_6.json
 //	avbench -shard BENCH_7.json
+//	avbench -pipeline BENCH_8.json
+//
+// -pipeline reruns the BENCH_6 matrix with pipelined workers: each
+// holds a bounded window of in-flight durability acknowledgements
+// (ConsumeAsync) instead of waiting out every op, comparing the two
+// commit pipelines at identical overlap (the committed BENCH_8.json).
 //
 // -procs pins GOMAXPROCS for the whole run (recorded in every JSON
-// snapshot); with -matrix it collapses the GOMAXPROCS axis to that
-// single point.
+// snapshot); with -matrix and -pipeline it collapses the GOMAXPROCS
+// axis to that single point.
 package main
 
 import (
@@ -47,6 +53,7 @@ func main() {
 		readOps  = flag.Int("read-ops", 5000, "mixed operations in the -reads workload")
 		matrix   = flag.String("matrix", "", `write the multi-core scaling matrix (JSON) to this file ("-" for stdout) instead of sweeping`)
 		shard    = flag.String("shard", "", `write the sharded-cluster scaling snapshot (JSON) to this file ("-" for stdout) instead of sweeping`)
+		pipe     = flag.String("pipeline", "", `write the pipelined-commit matrix (JSON) to this file ("-" for stdout) instead of sweeping`)
 		shardKey = flag.Int("shard-keys", 100000, "key-space size for the -shard workload")
 		shardOps = flag.Int("shard-ops", 4000, "updates per -shard cell")
 		procs    = flag.Int("procs", 0, "pin GOMAXPROCS for the run (0 = runtime default; with -matrix, restricts the axis to this value)")
@@ -91,6 +98,17 @@ func main() {
 			axis = []int{*procs}
 		}
 		if err := runMatrix(*matrix, axis); err != nil {
+			fmt.Fprintln(os.Stderr, "avbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pipe != "" {
+		axis := []int{1, 4, 16}
+		if *procs > 0 {
+			axis = []int{*procs}
+		}
+		if err := runPipeline(*pipe, axis); err != nil {
 			fmt.Fprintln(os.Stderr, "avbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"avdb/internal/avstore"
+	"avdb/internal/epoch"
+	"avdb/internal/metrics"
+	"avdb/internal/wal"
+)
+
+// pipelineResult is the schema of the BENCH_8.json snapshot: the
+// pipelined commit matrix, GOMAXPROCS x commit pipeline, with every
+// worker running a bounded async window instead of the synchronous
+// one-op-one-wait loop of BENCH_6. Each worker issues durable AV
+// decrements through ConsumeAsync and only blocks on the oldest
+// in-flight acknowledgement once its window is full, so both pipelines
+// are measured at identical offered concurrency *and* identical
+// per-worker overlap:
+//
+//   - epochs off: the deferred wait is the journal's group-commit
+//     SyncTo — overlapping ops widen the sync batches;
+//   - epochs on: the deferred wait is an epoch Ticket — epoch N+1
+//     fills while epoch N's covering fsync is in flight, which is the
+//     cross-epoch pipeline the synchronous loop could never exercise.
+//
+// The headline: with the ack wait off the issue path, epochs-on ns/op
+// lands within 15% of epochs-off at GOMAXPROCS 4 while still issuing
+// at most a tenth of an fsync per op (both CI-gated).
+type pipelineResult struct {
+	GoVersion       string  `json:"go_version"`
+	NumCPU          int     `json:"num_cpu"`
+	Workers         int     `json:"workers"`
+	OpsPerWorker    int     `json:"ops_per_worker"`
+	Window          int     `json:"window"`
+	EpochIntervalUS int     `json:"epoch_interval_us"`
+	Cells           []*cell `json:"cells"`
+}
+
+// runPipeline measures the pipelined matrix and writes it as JSON to
+// path. procsList is the GOMAXPROCS axis, as in runMatrix.
+func runPipeline(path string, procsList []int) error {
+	const (
+		workers      = 32
+		opsPerWorker = 250
+		window       = 8
+		intervalUS   = 200
+	)
+	res := pipelineResult{
+		GoVersion:       runtime.Version(),
+		NumCPU:          runtime.NumCPU(),
+		Workers:         workers,
+		OpsPerWorker:    opsPerWorker,
+		Window:          window,
+		EpochIntervalUS: intervalUS,
+	}
+	for _, procs := range procsList {
+		for _, epochs := range []bool{false, true} {
+			c, err := runPipelineCell(procs, epochs, workers, opsPerWorker, window, intervalUS)
+			if err != nil {
+				return fmt.Errorf("procs=%d epochs=%v: %w", procs, epochs, err)
+			}
+			res.Cells = append(res.Cells, c)
+		}
+	}
+
+	out, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}
+
+// runPipelineCell measures one (GOMAXPROCS, pipeline) point: workers
+// goroutines each performing opsPerWorker durable AV decrements
+// (acquire + async consume, real fsyncs) against one journaled store,
+// holding up to window acknowledgements in flight.
+func runPipelineCell(procs int, epochs bool, workers, opsPerWorker, window, intervalUS int) (*cell, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	dir, err := os.MkdirTemp("", "avbench-pipeline")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	ws := &wal.Stats{}
+	est := &epoch.Stats{}
+	opts := avstore.Options{Stats: ws}
+	if epochs {
+		opts.EpochInterval = time.Duration(intervalUS) * time.Microsecond
+		opts.EpochStats = est
+	}
+	s, err := avstore.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	if err := s.Define("k", 1<<50); err != nil {
+		return nil, err
+	}
+
+	ackWait := metrics.NewHistogram()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		workErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if workErr == nil {
+			workErr = err
+		}
+		mu.Unlock()
+	}
+	startFsyncs := ws.Fsyncs.Load()
+	startEpochs, startCommits := est.Epochs.Load(), est.Commits.Load()
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			type inflight struct {
+				start time.Time
+				wait  func() error
+			}
+			// Bounded in-flight window: settle the oldest ack only when
+			// the window is full, so up to `window` durability waits
+			// overlap the issue path at all times.
+			win := make([]inflight, 0, window)
+			settle := func(f inflight) bool {
+				if err := f.wait(); err != nil {
+					fail(err)
+					return false
+				}
+				ackWait.Observe(time.Since(f.start))
+				return true
+			}
+			for i := 0; i < opsPerWorker; i++ {
+				opStart := time.Now()
+				ok, err := s.Acquire("k", 1)
+				var wait func() error
+				if err == nil && ok {
+					wait, err = s.ConsumeAsync("k", 1)
+				}
+				if err != nil || !ok {
+					if err == nil {
+						err = fmt.Errorf("acquire rejected with %d stock", int64(1)<<50)
+					}
+					fail(err)
+					break
+				}
+				win = append(win, inflight{start: opStart, wait: wait})
+				if len(win) == window {
+					f := win[0]
+					win = append(win[:0], win[1:]...)
+					if !settle(f) {
+						break
+					}
+				}
+			}
+			for _, f := range win {
+				if !settle(f) {
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if workErr != nil {
+		return nil, workErr
+	}
+
+	ops := workers * opsPerWorker
+	c := &cell{
+		GoProcs: procs,
+		Epochs:  epochs,
+		Ops:     ops,
+		NsOp:    float64(elapsed.Nanoseconds()) / float64(ops),
+	}
+	c.FsyncsPerOp = float64(ws.Fsyncs.Load()-startFsyncs) / float64(ops)
+	if closed := est.Epochs.Load() - startEpochs; closed > 0 {
+		c.CommitsPerEpoch = float64(est.Commits.Load()-startCommits) / float64(closed)
+	}
+	snap := ackWait.Snapshot()
+	c.AckWaitP50Ns = snap.Percentile(50).Nanoseconds()
+	c.AckWaitP99Ns = snap.Percentile(99).Nanoseconds()
+	return c, nil
+}

@@ -42,6 +42,38 @@ func TestEpochSummaryDerivesFromDump(t *testing.T) {
 	}
 }
 
+func TestEpochSummaryRendersAdaptiveAndPipelined(t *testing.T) {
+	dump := strings.Join([]string{
+		"epoch_current 10",
+		"epoch_durable 10",
+		"epoch_closed_total 9",
+		"epoch_commits_total 90",
+		"epoch_interval_current_us 800",
+		"epoch_widens_total 4",
+		"epoch_collapses_total 2",
+		"twopc_pipelined_commits 17",
+	}, "\n")
+	var out strings.Builder
+	epochSummary(&out, dump)
+	got := out.String()
+	for _, want := range []string{
+		"pipelined 2PC commits 17",
+		"adaptive interval 800µs (widened 4, collapsed 2)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestEpochSummaryQuietWithoutAdaptiveController(t *testing.T) {
+	var out strings.Builder
+	epochSummary(&out, "epoch_closed_total 5\nepoch_commits_total 50\nepoch_interval_current_us 200\n")
+	if strings.Contains(out.String(), "adaptive interval") {
+		t.Fatalf("adaptive line rendered with zero widen/collapse counts:\n%s", out.String())
+	}
+}
+
 func TestEpochSummaryQuietWhenEpochsOff(t *testing.T) {
 	var out strings.Builder
 	epochSummary(&out, "# counters\nwal_fsync_total 7\nepoch_closed_total 0\nepoch_commits_total 0\n")

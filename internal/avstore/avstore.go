@@ -87,6 +87,12 @@ type Options struct {
 	// EpochMaxCommits closes an epoch early at this many commits
 	// (0 means epoch.DefaultMaxCommits; negative disables).
 	EpochMaxCommits int
+	// EpochAdaptive turns on the epoch manager's adaptive interval
+	// controller; EpochMinInterval/EpochMaxInterval clamp it (see
+	// epoch.Options).
+	EpochAdaptive    bool
+	EpochMinInterval time.Duration
+	EpochMaxInterval time.Duration
 	// Clock drives epoch deadlines (nil means the real clock).
 	Clock clock.Clock
 	// EpochStats, when non-nil, receives epoch counters (shareable with
@@ -170,11 +176,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	if opts.EpochInterval > 0 {
 		s.epochs = epoch.New(epoch.Options{
-			Interval:   opts.EpochInterval,
-			MaxCommits: opts.EpochMaxCommits,
-			Clock:      opts.Clock,
-			Sync:       j.SyncTo,
-			Stats:      opts.EpochStats,
+			Interval:    opts.EpochInterval,
+			MaxCommits:  opts.EpochMaxCommits,
+			Clock:       opts.Clock,
+			Sync:        j.SyncTo,
+			Stats:       opts.EpochStats,
+			Adaptive:    opts.EpochAdaptive,
+			MinInterval: opts.EpochMinInterval,
+			MaxInterval: opts.EpochMaxInterval,
 		})
 	}
 	return s, nil
@@ -195,6 +204,26 @@ func (s *Store) syncTo(lsn uint64) error {
 		return err
 	}
 	return s.journal.SyncTo(lsn)
+}
+
+// syncToAsync is syncTo's pipelined form: it registers the wait (riding
+// the open epoch when epoch commit is on) and returns a function that
+// blocks until lsn is durable. The caller withholds the operation's
+// acknowledgement until that wait resolves, but may keep issuing ops —
+// filling the next epoch while the previous one's covering fsync
+// drains.
+func (s *Store) syncToAsync(lsn uint64) func() error {
+	if s.epochs != nil {
+		t, err := s.epochs.Enqueue(lsn)
+		if err != nil {
+			return func() error { return err }
+		}
+		return func() error {
+			_, werr := t.Wait()
+			return werr
+		}
+	}
+	return func() error { return s.journal.SyncTo(lsn) }
 }
 
 // applyRecord replays one journal record into the table.
@@ -343,6 +372,25 @@ func (s *Store) Consume(key string, n int64) error {
 		return err
 	}
 	return s.syncTo(lsn)
+}
+
+// ConsumeAsync is Consume's pipelined form: the journal append and
+// table change happen before it returns (same order, same records —
+// the escrow discipline is untouched), but the durable-ack wait is
+// returned as a function instead of blocked on inline. The caller must
+// not acknowledge the consumption until the wait resolves; until then
+// a crash loses only unacked slack, exactly as with Consume.
+func (s *Store) ConsumeAsync(key string, n int64) (wait func() error, err error) {
+	s.mu.Lock()
+	lsn, err := s.appendLocked(opSpend, key, n)
+	if err == nil {
+		err = s.tbl.Consume(key, n)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.syncToAsync(lsn), nil
 }
 
 // Debit removes up to n available units for an outbound transfer,

@@ -78,6 +78,10 @@ type Config struct {
 	EpochInterval time.Duration
 	// EpochMaxCommits caps commits per epoch (see site.Config).
 	EpochMaxCommits int
+	// EpochAdaptive turns on the adaptive interval controller, clamped
+	// to [EpochMinInterval, EpochMaxInterval] (see site.Config).
+	EpochAdaptive                      bool
+	EpochMinInterval, EpochMaxInterval time.Duration
 	// Interceptor, when non-nil, is consulted for every message on the
 	// in-process network — the seam chaos.Injector plugs into.
 	Interceptor transport.Interceptor
@@ -358,6 +362,9 @@ func (c *Cluster) siteConfig(id int) site.Config {
 		sc.NoSync = true
 		sc.EpochInterval = cfg.EpochInterval
 		sc.EpochMaxCommits = cfg.EpochMaxCommits
+		sc.EpochAdaptive = cfg.EpochAdaptive
+		sc.EpochMinInterval = cfg.EpochMinInterval
+		sc.EpochMaxInterval = cfg.EpochMaxInterval
 	}
 	return sc
 }

@@ -233,12 +233,19 @@ type Result struct {
 	Path        Path
 	Rounds      int   // AV transfer round trips used
 	Transferred int64 // AV received from peers
-	// LSN is the local storage cursor as of the commit: a read-plane
-	// session token minted from it (ReadToken{site, LSN}) guarantees
-	// read-your-writes, because the committed batch's LSN is <= LSN. It
-	// can over-approximate (include concurrent commits), which only
-	// makes the guarantee stricter. Zero when the update failed.
+	// LSN is the applying site's storage cursor as of the commit: a
+	// read-plane session token minted from it (ReadToken{Site, LSN})
+	// guarantees read-your-writes, because the committed batch's LSN is
+	// <= LSN. It can over-approximate (include concurrent commits),
+	// which only makes the guarantee stricter. Zero when the update
+	// failed.
 	LSN uint64
+	// Site is the site whose plane LSN refers to: the accelerator's own
+	// for local commits, the serving replica's for forwarded ones. A
+	// token minted from (Site, LSN) must gate that site's read plane —
+	// the origin's plane never saw a forwarded commit. Meaningful only
+	// when LSN is nonzero.
+	Site wire.SiteID
 }
 
 // Update applies delta to key using the appropriate discipline. This is
@@ -256,6 +263,7 @@ func (a *Accelerator) Update(ctx context.Context, key string, delta int64) (Resu
 	}
 	if err == nil {
 		res.LSN = a.tm.Engine().LastLSN()
+		res.Site = a.cfg.Site
 	}
 	return res, err
 }

@@ -220,6 +220,250 @@ func TestEpochNumbersMonotonic(t *testing.T) {
 	}
 }
 
+// gateSync blocks every covering sync until the gate opens, simulating
+// an fsync in flight.
+type gateSync struct {
+	gate chan struct{}
+	fs   fakeSync
+}
+
+func (g *gateSync) sync(lsn uint64) error {
+	<-g.gate
+	return g.fs.sync(lsn)
+}
+
+// TestEnqueuePipelinesAcrossEpochs drives the async half of the API:
+// with epoch 1's covering sync deliberately stalled, Enqueue must keep
+// accepting commits into epoch 2 — the cross-epoch pipeline the 2PC
+// coordinator builds on.
+func TestEnqueuePipelinesAcrossEpochs(t *testing.T) {
+	gs := &gateSync{gate: make(chan struct{})}
+	m := New(Options{Interval: time.Hour, MaxCommits: 2, Sync: gs.sync})
+	defer m.Close()
+
+	t1, err := m.Enqueue(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Enqueue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 hit MaxCommits and its sync is now parked on the gate.
+	// The next enqueues must land on epoch 2 without blocking.
+	t3, err := m.Enqueue(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Epoch() != 1 || t2.Epoch() != 1 {
+		t.Fatalf("first two commits rode epochs %d/%d, want 1/1", t1.Epoch(), t2.Epoch())
+	}
+	if t3.Epoch() != 2 {
+		t.Fatalf("commit enqueued during epoch 1's sync rode epoch %d, want 2", t3.Epoch())
+	}
+	if m.Durable() != 0 {
+		t.Fatalf("durable %d while every sync is gated", m.Durable())
+	}
+	select {
+	case <-t1.Done():
+		t.Fatal("ticket released before its covering sync ran")
+	default:
+	}
+	t4, err := m.Enqueue(4) // tips epoch 2 over MaxCommits too
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gs.gate)
+	for i, tk := range []Ticket{t1, t2, t3, t4} {
+		if _, err := tk.Wait(); err != nil {
+			t.Fatalf("ticket %d: %v", i, err)
+		}
+	}
+	if m.Durable() != 2 {
+		t.Fatalf("durable %d after both epochs synced, want 2", m.Durable())
+	}
+	if _, maxTo := gs.fs.snapshot(); maxTo != 4 {
+		t.Fatalf("covering syncs reached LSN %d, want 4", maxTo)
+	}
+}
+
+// TestTicketCompletesAfterVirtualClose holds a ticket across a
+// virtual-clock epoch boundary: Done stays open until the interval
+// elapses, then closes with a nil Err.
+func TestTicketCompletesAfterVirtualClose(t *testing.T) {
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	fs := &fakeSync{}
+	m := New(Options{Interval: 2 * time.Millisecond, Clock: vc, Sync: fs.sync})
+	defer m.Close()
+
+	tk, err := m.Enqueue(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tk.Done():
+		t.Fatal("ticket done before the virtual interval elapsed")
+	default:
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for vc.Pending() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch timer never armed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	vc.Advance(2 * time.Millisecond)
+	select {
+	case <-tk.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticket never completed after the virtual interval elapsed")
+	}
+	if tk.Err() != nil {
+		t.Fatalf("Err = %v after a clean close", tk.Err())
+	}
+	if ep, err := tk.Wait(); ep != 1 || err != nil {
+		t.Fatalf("Wait = (%d, %v), want (1, nil)", ep, err)
+	}
+	if _, maxTo := fs.snapshot(); maxTo != 9 {
+		t.Fatalf("synced to %d, want 9", maxTo)
+	}
+}
+
+// TestTornEpochKeepsAckedWatermark crashes the covering sync of a later
+// epoch and requires the durable watermark to stay where the last acked
+// epoch left it: a torn epoch loses only its own unacknowledged
+// commits, never the contract that acked commits are durable.
+func TestTornEpochKeepsAckedWatermark(t *testing.T) {
+	fs := &fakeSync{}
+	m := New(Options{Interval: time.Millisecond, Sync: fs.sync})
+	defer m.Close()
+
+	if ep, err := m.Commit(1); err != nil || ep != 1 {
+		t.Fatalf("first commit = (%d, %v)", ep, err)
+	}
+	if m.Durable() != 1 {
+		t.Fatalf("durable %d after a clean epoch, want 1", m.Durable())
+	}
+	boom := errors.New("torn write")
+	fs.mu.Lock()
+	fs.err = boom
+	fs.mu.Unlock()
+	tk, err := m.Enqueue(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("torn epoch Wait error = %v, want %v", err, boom)
+	}
+	if !errors.Is(tk.Err(), boom) {
+		t.Fatalf("Err = %v, want %v", tk.Err(), boom)
+	}
+	if m.Durable() != 1 {
+		t.Fatalf("durable moved to %d through a failed sync, want 1", m.Durable())
+	}
+}
+
+// TestAdaptiveWidenAndCollapse drives the interval controller through
+// both directions: a size-capped epoch widens the interval, a
+// near-empty one collapses it back.
+func TestAdaptiveWidenAndCollapse(t *testing.T) {
+	fs := &fakeSync{}
+	st := &Stats{}
+	m := New(Options{
+		Interval:    time.Millisecond,
+		MaxCommits:  16,
+		Adaptive:    true,
+		MinInterval: time.Millisecond,
+		MaxInterval: 8 * time.Millisecond,
+		Sync:        fs.sync,
+		Stats:       st,
+	})
+	defer m.Close()
+
+	var last Ticket
+	for i := 1; i <= 16; i++ {
+		tk, err := m.Enqueue(uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = tk
+	}
+	if _, err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Interval(); got != 2*time.Millisecond {
+		t.Fatalf("interval after a full epoch = %v, want 2ms", got)
+	}
+	if st.Widens.Load() != 1 {
+		t.Fatalf("Widens = %d, want 1", st.Widens.Load())
+	}
+	// One lonely commit: count 1 <= 16/8, so the controller halves back.
+	if _, err := m.Commit(17); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Interval(); got != time.Millisecond {
+		t.Fatalf("interval after a near-empty epoch = %v, want 1ms", got)
+	}
+	if st.Collapses.Load() != 1 {
+		t.Fatalf("Collapses = %d, want 1", st.Collapses.Load())
+	}
+}
+
+// TestAdaptiveClampsAtMaxInterval keeps every epoch full and requires
+// the controller to stop at the ceiling.
+func TestAdaptiveClampsAtMaxInterval(t *testing.T) {
+	fs := &fakeSync{}
+	st := &Stats{}
+	m := New(Options{
+		Interval:    time.Millisecond,
+		MaxCommits:  1,
+		Adaptive:    true,
+		MinInterval: time.Millisecond,
+		MaxInterval: 4 * time.Millisecond,
+		Sync:        fs.sync,
+		Stats:       st,
+	})
+	defer m.Close()
+	for i := 1; i <= 6; i++ {
+		if _, err := m.Commit(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Interval(); got != 4*time.Millisecond {
+		t.Fatalf("interval = %v, want clamp at 4ms", got)
+	}
+	// 1ms -> 2ms -> 4ms: exactly two widens despite six full epochs.
+	if st.Widens.Load() != 2 {
+		t.Fatalf("Widens = %d, want 2", st.Widens.Load())
+	}
+}
+
+// TestOnDurableFiresOnAdvance requires the durable hook to run for each
+// watermark advance, after the epoch's waiters were released.
+func TestOnDurableFiresOnAdvance(t *testing.T) {
+	fs := &fakeSync{}
+	fired := make(chan uint64, 4)
+	m := New(Options{
+		Interval: time.Millisecond,
+		Sync:     fs.sync,
+		OnDurable: func(ep uint64) {
+			fired <- ep
+		},
+	})
+	defer m.Close()
+	if _, err := m.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ep := <-fired:
+		if ep != 1 {
+			t.Fatalf("OnDurable(%d), want 1", ep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDurable never fired for a durable epoch")
+	}
+}
+
 func TestConcurrentCommitsShareSyncs(t *testing.T) {
 	fs := &fakeSync{}
 	m := New(Options{Interval: 500 * time.Microsecond, Sync: fs.sync})

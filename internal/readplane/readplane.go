@@ -435,6 +435,11 @@ func (p *Plane) Global() *GlobalSnapshot {
 // After it returns nil, every model read observes the token's write
 // (and, the watermark being monotonic, reads are monotonic too).
 func (p *Plane) WaitFor(ctx context.Context, tok Token) error {
+	if tok.IsZero() {
+		// The zero token (failed update) demands nothing of the model,
+		// whichever site it is presented to.
+		return nil
+	}
 	if tok.Site != p.cfg.Site {
 		return ErrWrongSite
 	}

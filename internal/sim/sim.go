@@ -56,6 +56,11 @@ type Config struct {
 	// ride epoch boundaries. Off (the default) is byte-identical to
 	// pre-epoch builds: same trace hashes for the same seed.
 	Epochs bool
+	// EpochsAdaptive additionally turns on the adaptive interval
+	// controller (clamped to [1ms, 8ms] on the virtual clock), so every
+	// oracle also runs while the epoch interval widens and collapses.
+	// Implies Epochs.
+	EpochsAdaptive bool
 	// Partitions, when > 0, shards the cluster's key space over that
 	// many virtual partitions with replication factor RF (see
 	// cluster.Config). The oracles then check per partition: each key
@@ -276,7 +281,7 @@ func Run(cfg Config) (Result, error) {
 		h.logs[i].SetNow(h.clk.Now)
 	}
 	var epochInterval time.Duration
-	if cfg.Epochs {
+	if cfg.Epochs || cfg.EpochsAdaptive {
 		// Coarse on the virtual clock: driver ops block on the epoch
 		// boundary, so only the timer can close it and the schedule stays
 		// deterministic.
@@ -292,6 +297,9 @@ func Run(cfg Config) (Result, error) {
 		Partitions:         cfg.Partitions,
 		RF:                 cfg.RF,
 		EpochInterval:      epochInterval,
+		EpochAdaptive:      cfg.EpochsAdaptive,
+		EpochMinInterval:   time.Millisecond,
+		EpochMaxInterval:   8 * time.Millisecond,
 		Clock:              h.clk,
 		Interceptor:        h.inj,
 		EventsFor:          func(i int) *eventlog.Log { return h.logs[i] },
@@ -515,7 +523,7 @@ func (h *harness) quiesce(ctx context.Context) error {
 // fixpoint is an activity level that holds still: every deliverable
 // message delivered, every handler either finished or timer-parked.
 func (h *harness) settle() {
-	if !h.cfg.Epochs && h.cfg.Partitions == 0 {
+	if !h.cfg.Epochs && !h.cfg.EpochsAdaptive && h.cfg.Partitions == 0 {
 		h.c.Net.Settle()
 		return
 	}
@@ -638,13 +646,18 @@ func (h *harness) checkNoMint() *Violation {
 }
 
 // checkRYW asserts read-your-writes after a committed operation: the
-// token minted by the commit must be satisfiable at the origin site's
-// read plane. The wait deadline is real time on purpose — the plane's
-// applier free-runs outside the settle/advance scheduler and its feed
-// log is not part of the hashed trace, so registering a virtual-clock
-// timer here would perturb bit-reproducibility.
+// token minted by the commit must be satisfiable at the read plane of
+// the site that applied it — the origin for local commits, the remote
+// owner for routed updates (the token carries the applying site's ID).
+// The wait deadline is real time on purpose — the plane's applier
+// free-runs outside the settle/advance scheduler and its feed log is
+// not part of the hashed trace, so registering a virtual-clock timer
+// here would perturb bit-reproducibility.
 func (h *harness) checkRYW(idx int, opRes core.Result) *Violation {
 	s := h.c.Sites[idx]
+	if opRes.Site != wire.SiteID(idx) && int(opRes.Site) < len(h.c.Sites) {
+		s = h.c.Sites[int(opRes.Site)]
+	}
 	p := s.ReadPlane()
 	if p == nil || opRes.LSN == 0 {
 		return nil

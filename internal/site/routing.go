@@ -212,9 +212,14 @@ func (s *Site) forwardUpdate(ctx context.Context, key string, delta int64) (core
 					Path:        core.Path(rep.Path),
 					Rounds:      int(rep.Rounds),
 					Transferred: rep.Transferred,
-					// LSN stays zero: the commit landed on the remote
-					// site's plane, so no local read-your-writes token
-					// can be minted from it.
+					// The commit landed on the serving replica's plane, so
+					// the read-your-writes position is *its* {site, lsn}:
+					// a token minted from this pair gates that site's read
+					// plane. An old peer that predates token-carrying
+					// replies leaves AppliedLSN zero and the result mints
+					// no token, which is the pre-fix behaviour.
+					LSN:  rep.AppliedLSN,
+					Site: rep.AppliedSite,
 				}, nil
 			case wire.RouteNotReplica:
 				if refreshed && attempt < maxRetries {
@@ -272,5 +277,10 @@ func (s *Site) handleRouteUpdate(ctx context.Context, from wire.SiteID, m *wire.
 	rep.Path = uint8(res.Path)
 	rep.Rounds = uint32(res.Rounds)
 	rep.Transferred = res.Transferred
+	// Carry our read-your-writes position back so the origin can mint a
+	// token that gates *this* site's read plane (the commit never
+	// touched the origin's).
+	rep.AppliedSite = res.Site
+	rep.AppliedLSN = res.LSN
 	return rep
 }

@@ -67,8 +67,11 @@ func TestStaleMapRedirectAndRetry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("routed update after redirect: %v", err)
 	}
-	if res.LSN != 0 {
-		t.Fatalf("forwarded result carries a local LSN %d", res.LSN)
+	if res.LSN == 0 {
+		t.Fatalf("forwarded result carries no applied LSN (RYW token gap)")
+	}
+	if res.Site != 2 {
+		t.Fatalf("forwarded result names site %d, want the serving replica 2", res.Site)
 	}
 	if got := origin.PartitionMap().Version(); got != mapNew.Version() {
 		t.Fatalf("origin map version = %d, want %d (adopted)", got, mapNew.Version())

@@ -65,6 +65,21 @@ type Config struct {
 	// EpochMaxCommits closes an epoch early at this many commits
 	// (0 means epoch.DefaultMaxCommits; negative disables).
 	EpochMaxCommits int
+	// EpochAdaptive turns on the adaptive interval controller in both
+	// epoch managers: the interval widens under load and collapses when
+	// idle, clamped to [EpochMinInterval, EpochMaxInterval] (see
+	// epoch.Options). Requires EpochInterval > 0.
+	EpochAdaptive    bool
+	EpochMinInterval time.Duration
+	EpochMaxInterval time.Duration
+	// EpochAlignFlush aligns replication flushes to epoch boundaries:
+	// outbound delta windows are snapshotted when the durable epoch
+	// advances (the epoch's covering fsync already made every entry in
+	// the window durable) and the flush loop is kicked right after each
+	// close, so one fsync covers both the ack batch and the replication
+	// watermark advance. Requires EpochInterval > 0; off keeps flushing
+	// on its own timer, windows uncapped.
+	EpochAlignFlush bool
 	// EpochStats, when non-nil, aggregates epoch counters across the
 	// storage engine's and AV journal's managers.
 	EpochStats *epoch.Stats
@@ -179,6 +194,11 @@ type Site struct {
 	routeMisroutes atomic.Uint64
 	routeRefreshes atomic.Uint64
 
+	// flushKick, non-nil when EpochAlignFlush is on, wakes the flush
+	// loop right after each durable-epoch advance (capacity 1; a
+	// pending kick absorbs further closes).
+	flushKick chan struct{}
+
 	stop      chan struct{}
 	closeOnce sync.Once
 	closeErr  error
@@ -193,24 +213,44 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Real{}
 	}
-	eng, err := storage.Open(storage.Options{
-		Dir:             cfg.StorageDir,
-		NoSync:          cfg.NoSync,
-		MaxSyncDelay:    cfg.WALMaxSyncDelay,
-		Stats:           cfg.WALStats,
-		EpochInterval:   cfg.EpochInterval,
-		EpochMaxCommits: cfg.EpochMaxCommits,
-		Clock:           cfg.Clock,
-		EpochStats:      cfg.EpochStats,
-	})
+	s := &Site{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+	}
+	stOpts := storage.Options{
+		Dir:              cfg.StorageDir,
+		NoSync:           cfg.NoSync,
+		MaxSyncDelay:     cfg.WALMaxSyncDelay,
+		Stats:            cfg.WALStats,
+		EpochInterval:    cfg.EpochInterval,
+		EpochMaxCommits:  cfg.EpochMaxCommits,
+		EpochAdaptive:    cfg.EpochAdaptive,
+		EpochMinInterval: cfg.EpochMinInterval,
+		EpochMaxInterval: cfg.EpochMaxInterval,
+		Clock:            cfg.Clock,
+		EpochStats:       cfg.EpochStats,
+	}
+	if cfg.EpochAlignFlush && cfg.EpochInterval > 0 && cfg.StorageDir != "" {
+		// Epoch-aligned replication: each durable-epoch advance snapshots
+		// the outbound window fence and kicks the flush loop. The hook
+		// cannot fire before Open returns (the first epoch needs a
+		// commit), so reading s.repl here is safe.
+		s.flushKick = make(chan struct{}, 1)
+		stOpts.EpochOnDurable = func(uint64) {
+			if r := s.repl; r != nil {
+				r.Fence()
+			}
+			select {
+			case s.flushKick <- struct{}{}:
+			default: // a kick is already pending
+			}
+		}
+	}
+	eng, err := storage.Open(stOpts)
 	if err != nil {
 		return nil, err
 	}
-	s := &Site{
-		cfg:  cfg,
-		eng:  eng,
-		stop: make(chan struct{}),
-	}
+	s.eng = eng
 	if cfg.Partitions != nil {
 		s.pm.Store(cfg.Partitions)
 	}
@@ -220,13 +260,16 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 			return nil, fmt.Errorf("site: PersistAV requires StorageDir")
 		}
 		avs, err := avstore.Open(filepath.Join(cfg.StorageDir, "av"), avstore.Options{
-			NoSync:          cfg.NoSync,
-			MaxSyncDelay:    cfg.WALMaxSyncDelay,
-			Stats:           cfg.WALStats,
-			EpochInterval:   cfg.EpochInterval,
-			EpochMaxCommits: cfg.EpochMaxCommits,
-			Clock:           cfg.Clock,
-			EpochStats:      cfg.EpochStats,
+			NoSync:           cfg.NoSync,
+			MaxSyncDelay:     cfg.WALMaxSyncDelay,
+			Stats:            cfg.WALStats,
+			EpochInterval:    cfg.EpochInterval,
+			EpochMaxCommits:  cfg.EpochMaxCommits,
+			EpochAdaptive:    cfg.EpochAdaptive,
+			EpochMinInterval: cfg.EpochMinInterval,
+			EpochMaxInterval: cfg.EpochMaxInterval,
+			Clock:            cfg.Clock,
+			EpochStats:       cfg.EpochStats,
 		})
 		if err != nil {
 			eng.Close()
@@ -272,6 +315,9 @@ func Open(cfg Config, network transport.Network) (*Site, error) {
 	}
 	if cfg.FlushPeerTimeout > 0 || cfg.FlushBackoff.BaseDelay > 0 {
 		s.repl.SetFlushPolicy(cfg.FlushPeerTimeout, cfg.FlushBackoff, cfg.Clock)
+	}
+	if s.flushKick != nil {
+		s.repl.AlignToEpochs()
 	}
 	if cfg.Partitions != nil {
 		// Partial replication: deltas flow only to sites hosting the
@@ -449,7 +495,11 @@ func (s *Site) handle(ctx context.Context, from wire.SiteID, msg wire.Message) w
 	}
 }
 
-// flushLoop pushes the replication backlog periodically.
+// flushLoop pushes the replication backlog periodically, and — when
+// epoch-aligned flushing is on — immediately after each durable-epoch
+// advance, so the freshly fenced window ships without waiting out the
+// rest of the flush interval. s.flushKick is nil when alignment is off
+// and the nil channel simply never fires.
 func (s *Site) flushLoop() {
 	defer s.wg.Done()
 	for {
@@ -457,10 +507,11 @@ func (s *Site) flushLoop() {
 		case <-s.stop:
 			return
 		case <-s.cfg.Clock.After(s.cfg.FlushInterval):
-			ctx, cancel := clock.WithTimeout(context.Background(), s.cfg.Clock, s.cfg.FlushInterval)
-			_ = s.repl.Flush(ctx, s.node, s.cfg.Peers)
-			cancel()
+		case <-s.flushKick:
 		}
+		ctx, cancel := clock.WithTimeout(context.Background(), s.cfg.Clock, s.cfg.FlushInterval)
+		_ = s.repl.Flush(ctx, s.node, s.cfg.Peers)
+		cancel()
 	}
 }
 
@@ -660,9 +711,16 @@ func (s *Site) TwoPC() *twopc.Engine { return s.iu }
 func (s *Site) ReadPlane() *readplane.Plane { return s.plane }
 
 // Token mints a read-your-writes session token from an update result.
-// The zero token (failed update) satisfies trivially.
+// The token names the site whose plane applied the commit — this site
+// for local results, the serving replica for forwarded ones — because
+// WaitFor rejects tokens minted against any other site's plane. The
+// zero token (failed update, or a forwarded result from a peer that
+// predates token-carrying replies) satisfies trivially.
 func (s *Site) Token(res core.Result) readplane.Token {
-	return readplane.Mint(s.cfg.ID, res.LSN)
+	if res.LSN == 0 {
+		return readplane.Token{}
+	}
+	return readplane.Mint(res.Site, res.LSN)
 }
 
 // Close stops background loops, detaches from the network, and closes

@@ -61,6 +61,15 @@ type Options struct {
 	// EpochMaxCommits closes an epoch early once it holds this many
 	// commits (0 means epoch.DefaultMaxCommits; negative disables).
 	EpochMaxCommits int
+	// EpochAdaptive turns on the epoch manager's adaptive interval
+	// controller; EpochMinInterval/EpochMaxInterval clamp it (see
+	// epoch.Options).
+	EpochAdaptive    bool
+	EpochMinInterval time.Duration
+	EpochMaxInterval time.Duration
+	// EpochOnDurable, when non-nil, fires each time the durable epoch
+	// watermark advances (see epoch.Options.OnDurable).
+	EpochOnDurable func(epoch uint64)
 	// Clock drives epoch deadlines (nil means the real clock).
 	Clock clock.Clock
 	// EpochStats, when non-nil, receives epoch counters (shareable with
@@ -147,11 +156,15 @@ func Open(opts Options) (*Engine, error) {
 	e.lastLSN.Store(log.NextLSN() - 1)
 	if opts.EpochInterval > 0 {
 		e.epochs = epoch.New(epoch.Options{
-			Interval:   opts.EpochInterval,
-			MaxCommits: opts.EpochMaxCommits,
-			Clock:      opts.Clock,
-			Sync:       log.SyncTo,
-			Stats:      opts.EpochStats,
+			Interval:    opts.EpochInterval,
+			MaxCommits:  opts.EpochMaxCommits,
+			Clock:       opts.Clock,
+			Sync:        log.SyncTo,
+			Stats:       opts.EpochStats,
+			Adaptive:    opts.EpochAdaptive,
+			MinInterval: opts.EpochMinInterval,
+			MaxInterval: opts.EpochMaxInterval,
+			OnDurable:   opts.EpochOnDurable,
 		})
 	}
 	return e, nil
@@ -392,6 +405,42 @@ func (e *Engine) Apply(ops ...Op) error {
 		return e.log.SyncTo(lsn)
 	}
 	return nil
+}
+
+// applied reports a no-op durability wait, shared by every ApplyAsync
+// call that has nothing to wait for.
+func applied() error { return nil }
+
+// ApplyAsync applies a batch exactly as Apply does but returns before
+// the durability wait: the batch is validated, logged, and visible in
+// the table, and the returned wait function blocks until its WAL record
+// is durable (riding the open epoch's boundary when epoch commit is
+// on). This is the pipelined commit path — a caller can keep applying
+// batches into epoch N+1 while epoch N's covering fsync drains, as long
+// as it withholds every acknowledgement until the matching wait
+// returns. For in-memory engines the wait is an immediate no-op.
+func (e *Engine) ApplyAsync(ops ...Op) (wait func() error, err error) {
+	if len(ops) == 0 {
+		return applied, nil
+	}
+	lsn, err := e.applyBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	if e.log == nil || lsn == 0 {
+		return applied, nil
+	}
+	if e.epochs != nil {
+		t, err := e.epochs.Enqueue(lsn)
+		if err != nil {
+			return nil, err
+		}
+		return func() error {
+			_, err := t.Wait()
+			return err
+		}, nil
+	}
+	return func() error { return e.log.SyncTo(lsn) }, nil
 }
 
 // applyBatch validates, logs, and applies one batch under its stripe

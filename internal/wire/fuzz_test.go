@@ -35,6 +35,12 @@ func fuzzSeeds() []*Envelope {
 		&RouteReply{Status: RouteOK, Path: 0, Rounds: 1, Transferred: 5},
 		&RouteReply{Status: RouteNotReplica, Reason: "not hosted",
 			MapVersion: 2, Parts: 16, RF: 2, MapSites: []SiteID{0, 1, 2}},
+		// Extended frames: the trailing RYW token fields, with and
+		// without a piggybacked map refresh.
+		&RouteReply{Status: RouteOK, Rounds: 2, Transferred: 9, AppliedSite: 4, AppliedLSN: 77},
+		&RouteReply{Status: RouteOK, Rounds: 1, Transferred: 3,
+			MapVersion: 3, Parts: 16, RF: 2, MapSites: []SiteID{1, 2, 5},
+			AppliedSite: 5, AppliedLSN: 0x1_0000_0001},
 	}
 	envs := make([]*Envelope, 0, len(msgs)+1)
 	for i, m := range msgs {

@@ -692,6 +692,14 @@ const (
 // nonzero and MapVersion/Parts/RF/MapSites carry the receiver's map so
 // a stale sender can rebuild it and re-route (RouteNotReplica always
 // attaches it: the redirect of PROTOCOL.md's stale-map rule).
+//
+// On RouteOK, AppliedSite/AppliedLSN carry the serving replica's
+// read-your-writes position: the site whose plane applied the commit
+// and the LSN it reached there. The origin mints its RYW token from
+// this pair — the token must gate the *applying* site's read plane, not
+// the origin's, whose local LSN never saw the commit. AppliedLSN zero
+// (encoded by omission, like IUVote.Epoch) means the serving replica
+// predates token-carrying replies or had no plane position to report.
 type RouteReply struct {
 	Status      uint8
 	ErrClass    uint8
@@ -705,6 +713,10 @@ type RouteReply struct {
 	Parts      uint32
 	RF         uint32
 	MapSites   []SiteID
+
+	// RYW token position (absent when AppliedLSN is 0).
+	AppliedSite SiteID
+	AppliedLSN  uint64
 }
 
 // Kind implements Message.
@@ -724,6 +736,10 @@ func (m *RouteReply) encode(b []byte) []byte {
 		for _, s := range m.MapSites {
 			b = appendUvarint(b, uint64(s))
 		}
+	}
+	if m.AppliedLSN != 0 {
+		b = appendUvarint(b, uint64(m.AppliedSite))
+		b = appendUvarint(b, m.AppliedLSN)
 	}
 	return b
 }
@@ -752,33 +768,47 @@ func (m *RouteReply) decode(r *reader) (err error) {
 	if m.MapVersion, err = r.uvarint(); err != nil {
 		return err
 	}
-	if m.MapVersion == 0 {
-		return nil
-	}
-	parts, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	m.Parts = uint32(parts)
-	rf, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	m.RF = uint32(rf)
-	n, err := r.uvarint()
-	if err != nil {
-		return err
-	}
-	if n > uint64(r.remaining()) {
-		return ErrTooLong
-	}
-	m.MapSites = make([]SiteID, n)
-	for i := range m.MapSites {
-		s, err := r.uvarint()
+	if m.MapVersion != 0 {
+		parts, err := r.uvarint()
 		if err != nil {
 			return err
 		}
-		m.MapSites[i] = SiteID(s)
+		m.Parts = uint32(parts)
+		rf, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		m.RF = uint32(rf)
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(r.remaining()) {
+			return ErrTooLong
+		}
+		m.MapSites = make([]SiteID, n)
+		for i := range m.MapSites {
+			s, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			m.MapSites[i] = SiteID(s)
+		}
+	}
+	// Optional trailing token position: present in both map branches, so
+	// the extension composes with redirects.
+	if r.remaining() > 0 {
+		site, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		m.AppliedSite = SiteID(site)
+		if m.AppliedLSN, err = r.uvarint(); err != nil {
+			return err
+		}
+		if m.AppliedLSN == 0 {
+			return ErrNonCanonical
+		}
 	}
 	return nil
 }
